@@ -1,0 +1,643 @@
+//! The full annotation campaign (paper §II-B2 / §II-C1).
+//!
+//! Orchestrates the platform, three qualified annotators and the
+//! supervisors through the paper's protocol:
+//!
+//! 1. **Qualification** — every annotator passes the 95 % gate on the
+//!    100-sample expert set before touching campaign data.
+//! 2. **Partition** — a seeded 30 % of items is triple-annotated (the
+//!    kappa/voting subset: paper = 4,384 samples); the remaining 70 % is
+//!    split between annotators individually.
+//! 3. **Daily plan** — each annotator labels at most 500 items per
+//!    simulated day.
+//! 4. **Uncertainty policy** — flagged items skip straight to a joint
+//!    supervisor decision at day's end.
+//! 5. **Voting** — the joint subset resolves by 2-of-3 majority; three-way
+//!    disagreements go to special review (adjudication).
+//! 6. **Daily inspection** — supervisors re-check a random 10 % of each
+//!    day's committed labels against expert judgment and require ≥ 85 %
+//!    accuracy.
+//! 7. **Agreement** — Fleiss' kappa is computed over the joint items where
+//!    all three annotators committed labels.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::annotator::{
+    confusion_weights, AnnotationOutcome, AnnotatorProfile, SimulatedAnnotator,
+};
+use crate::platform::LabelingPlatform;
+use crate::qualification::{expert_set_from, qualify, QualificationConfig, QualificationOutcome};
+use rsd_common::rng::{sample_indices, shuffle, stream_rng, weighted_index};
+use rsd_common::{Result, RsdError};
+use rsd_corpus::{PostId, RiskLevel};
+use rsd_eval::alpha::krippendorff_alpha;
+use rsd_eval::kappa::fleiss_kappa_from_raters;
+
+/// How a final label was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LabelSource {
+    /// A single qualified annotator's committed label (70 % subset).
+    Individual,
+    /// 2-of-3 majority on the jointly-annotated subset.
+    MajorityVote,
+    /// Supervisor joint decision (uncertainty flag or three-way split).
+    Adjudicated,
+}
+
+/// One annotated item in the campaign output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnotatedItem {
+    /// The post that was labelled.
+    pub post: PostId,
+    /// The label entering the dataset.
+    pub label: RiskLevel,
+    /// Provenance.
+    pub source: LabelSource,
+}
+
+/// Per-simulated-day accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DayStats {
+    /// Day index, starting at 0.
+    pub day: usize,
+    /// Labels committed this day (all annotators).
+    pub labeled: usize,
+    /// Items flagged uncertain this day.
+    pub flagged: usize,
+    /// Labels re-checked in the daily inspection.
+    pub inspected: usize,
+    /// Inspection accuracy against expert judgment.
+    pub inspection_accuracy: f64,
+    /// Whether the ≥ 85 % gate passed.
+    pub passed: bool,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of annotators (paper: 3).
+    pub n_annotators: usize,
+    /// Fraction of items triple-annotated for agreement/voting (paper: 0.3).
+    pub joint_fraction: f64,
+    /// Per-annotator daily quota (paper: 500).
+    pub daily_quota: usize,
+    /// Fraction of each day's labels re-checked by experts (paper: 0.1).
+    pub inspection_rate: f64,
+    /// Inspection pass threshold (paper: 0.85).
+    pub inspection_threshold: f64,
+    /// Supervisor joint-decision accuracy.
+    pub expert_accuracy: f64,
+    /// Whether the uncertainty-reporting policy is active (ablation knob).
+    pub uncertainty_policy: bool,
+    /// Qualification protocol.
+    pub qualification: QualificationConfig,
+}
+
+impl CampaignConfig {
+    /// The paper's protocol with the given seed.
+    pub fn paper(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            n_annotators: 3,
+            joint_fraction: 0.30,
+            daily_quota: 500,
+            inspection_rate: 0.10,
+            inspection_threshold: 0.85,
+            expert_accuracy: 0.98,
+            uncertainty_policy: true,
+            qualification: QualificationConfig::default(),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.n_annotators < 3 {
+            return Err(RsdError::config(
+                "n_annotators",
+                "voting needs at least 3 annotators",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.joint_fraction) {
+            return Err(RsdError::config("joint_fraction", "must be in [0, 1]"));
+        }
+        if self.daily_quota == 0 {
+            return Err(RsdError::config("daily_quota", "must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.inspection_rate) {
+            return Err(RsdError::config("inspection_rate", "must be in [0, 1]"));
+        }
+        Ok(())
+    }
+}
+
+/// Campaign-level report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Fleiss' kappa over joint items with three committed labels.
+    pub fleiss_kappa: f64,
+    /// Krippendorff's alpha over *all* joint items with ≥ 2 committed
+    /// labels (handles the missing ratings the uncertainty policy
+    /// produces; Fleiss cannot).
+    pub krippendorff_alpha: f64,
+    /// Number of items entering the kappa computation.
+    pub kappa_items: usize,
+    /// Size of the joint (triple-annotated) subset.
+    pub joint_items: usize,
+    /// Size of the individually-annotated subset.
+    pub individual_items: usize,
+    /// Items resolved by supervisor adjudication.
+    pub adjudicated: usize,
+    /// Overall fraction of annotator decisions that were flags.
+    pub flag_rate: f64,
+    /// Per-day statistics.
+    pub days: Vec<DayStats>,
+    /// Qualification outcome per annotator.
+    pub qualification: Vec<QualificationOutcome>,
+    /// Accuracy of final labels against ground truth (measurable only in
+    /// simulation; reported for audit).
+    pub label_accuracy: f64,
+}
+
+/// The campaign driver.
+pub struct Campaign {
+    cfg: CampaignConfig,
+    platform: LabelingPlatform,
+}
+
+impl Campaign {
+    /// Create a campaign.
+    pub fn new(cfg: CampaignConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(Campaign {
+            cfg,
+            platform: LabelingPlatform::new(),
+        })
+    }
+
+    /// Borrow the underlying platform (for audits).
+    pub fn platform(&self) -> &LabelingPlatform {
+        &self.platform
+    }
+
+    /// Run the full campaign over `(post, ground-truth)` items.
+    ///
+    /// Returns the annotated items (one per input, in input order) and the
+    /// campaign report.
+    pub fn run(
+        &mut self,
+        items: &[(PostId, RiskLevel)],
+    ) -> Result<(Vec<AnnotatedItem>, CampaignReport)> {
+        if items.is_empty() {
+            return Err(RsdError::data("campaign: no items"));
+        }
+        let cfg = self.cfg.clone();
+        let mut rng = stream_rng(cfg.seed, "campaign.driver");
+
+        // ---- Qualification -------------------------------------------------
+        let expert_set = expert_set_from(
+            items,
+            cfg.qualification.n_samples.min(items.len()),
+            cfg.seed,
+        );
+        let mut qual_cfg = cfg.qualification.clone();
+        qual_cfg.n_samples = expert_set.len();
+        let mut annotators = Vec::with_capacity(cfg.n_annotators);
+        let mut qualification = Vec::with_capacity(cfg.n_annotators);
+        for a in 0..cfg.n_annotators {
+            let mut annotator =
+                SimulatedAnnotator::new(a, AnnotatorProfile::untrained(), cfg.seed);
+            let outcome = qualify(&mut annotator, &expert_set, &qual_cfg)?;
+            qualification.push(outcome);
+            annotators.push(annotator);
+        }
+
+        // ---- Partition: joint 30 % / individual 70 % -----------------------
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        shuffle(&mut rng, &mut order);
+        let n_joint = (items.len() as f64 * cfg.joint_fraction).round() as usize;
+        let joint_idx: Vec<usize> = order[..n_joint].to_vec();
+        let individual_idx: Vec<usize> = order[n_joint..].to_vec();
+
+        let posts: Vec<PostId> = items.iter().map(|(p, _)| *p).collect();
+        let task_ids = self.platform.create_tasks(&posts);
+
+        let mut truth_of = vec![RiskLevel::Indicator; items.len()];
+        for (i, (_, t)) in items.iter().enumerate() {
+            truth_of[i] = *t;
+        }
+
+        // ---- Daily loop -----------------------------------------------------
+        // Joint items consume quota from every annotator; individual items
+        // from their single assignee (round-robin).
+        let mut days: Vec<DayStats> = Vec::new();
+        let mut joint_votes: Vec<Option<Vec<RiskLevel>>> = vec![None; items.len()];
+        let mut joint_ratings: Vec<Vec<usize>> = Vec::new();
+        let mut flags_total = 0usize;
+        let mut decisions_total = 0usize;
+        let mut adjudicated = 0usize;
+        let mut final_labels: Vec<Option<(RiskLevel, LabelSource)>> = vec![None; items.len()];
+
+        let mut joint_cursor = 0usize;
+        let mut indiv_cursor = 0usize;
+        let mut day = 0usize;
+        while joint_cursor < joint_idx.len() || indiv_cursor < individual_idx.len() {
+            let mut day_committed: Vec<(usize, RiskLevel)> = Vec::new(); // (item, label)
+            let mut day_flagged = 0usize;
+            let mut quota = vec![cfg.daily_quota; cfg.n_annotators];
+
+            // Joint items first (all annotators must have quota).
+            while joint_cursor < joint_idx.len() && quota.iter().all(|&q| q > 0) {
+                let item = joint_idx[joint_cursor];
+                joint_cursor += 1;
+                let task = task_ids[item];
+                let truth = truth_of[item];
+                let mut labels: Vec<Option<RiskLevel>> = Vec::with_capacity(cfg.n_annotators);
+                for (a, annotator) in annotators.iter_mut().enumerate() {
+                    self.platform.assign(task, a)?;
+                    quota[a] -= 1;
+                    decisions_total += 1;
+                    let outcome = if cfg.uncertainty_policy {
+                        annotator.annotate(posts[item], truth)
+                    } else {
+                        AnnotationOutcome::Label(
+                            annotator.annotate_no_flagging(posts[item], truth),
+                        )
+                    };
+                    match outcome {
+                        AnnotationOutcome::Label(l) => {
+                            self.platform.submit(task, a, l)?;
+                            labels.push(Some(l));
+                        }
+                        AnnotationOutcome::Uncertain => {
+                            self.platform.flag_uncertain(task, a)?;
+                            flags_total += 1;
+                            day_flagged += 1;
+                            labels.push(None);
+                        }
+                    }
+                }
+                joint_ratings.push(
+                    labels
+                        .iter()
+                        .flatten()
+                        .map(|l| l.index())
+                        .collect(),
+                );
+                if labels.iter().all(Option::is_some) {
+                    let committed: Vec<RiskLevel> =
+                        labels.iter().map(|l| l.expect("checked")).collect();
+                    joint_votes[item] = Some(committed.clone());
+                    // 2-of-3 vote.
+                    let mut counts = [0usize; RiskLevel::COUNT];
+                    for l in &committed {
+                        counts[l.index()] += 1;
+                    }
+                    let (best_idx, &best) =
+                        counts.iter().enumerate().max_by_key(|(_, &c)| c).expect("4");
+                    if best * 2 > committed.len() {
+                        let label = RiskLevel::from_index(best_idx)?;
+                        final_labels[item] = Some((label, LabelSource::MajorityVote));
+                        day_committed.push((item, label));
+                    } else {
+                        // Three-way disagreement → special review.
+                        let label = expert_decision(&mut rng, truth, cfg.expert_accuracy);
+                        self.platform.adjudicate(task, label)?;
+                        adjudicated += 1;
+                        final_labels[item] = Some((label, LabelSource::Adjudicated));
+                        day_committed.push((item, label));
+                    }
+                } else {
+                    // Any flag → joint decision at day's end.
+                    let label = expert_decision(&mut rng, truth, cfg.expert_accuracy);
+                    self.platform.adjudicate(task, label)?;
+                    adjudicated += 1;
+                    final_labels[item] = Some((label, LabelSource::Adjudicated));
+                    day_committed.push((item, label));
+                }
+            }
+
+            // Individual items, round-robin across annotators with quota.
+            let mut next_annotator = 0usize;
+            while indiv_cursor < individual_idx.len() && quota.iter().any(|&q| q > 0) {
+                // Find the next annotator with remaining quota.
+                let mut a = next_annotator;
+                let mut hops = 0;
+                while quota[a] == 0 && hops < cfg.n_annotators {
+                    a = (a + 1) % cfg.n_annotators;
+                    hops += 1;
+                }
+                if quota[a] == 0 {
+                    break;
+                }
+                next_annotator = (a + 1) % cfg.n_annotators;
+
+                let item = individual_idx[indiv_cursor];
+                indiv_cursor += 1;
+                let task = task_ids[item];
+                let truth = truth_of[item];
+                self.platform.assign(task, a)?;
+                quota[a] -= 1;
+                decisions_total += 1;
+                let outcome = if cfg.uncertainty_policy {
+                    annotators[a].annotate(posts[item], truth)
+                } else {
+                    AnnotationOutcome::Label(
+                        annotators[a].annotate_no_flagging(posts[item], truth),
+                    )
+                };
+                match outcome {
+                    AnnotationOutcome::Label(l) => {
+                        self.platform.submit(task, a, l)?;
+                        final_labels[item] = Some((l, LabelSource::Individual));
+                        day_committed.push((item, l));
+                    }
+                    AnnotationOutcome::Uncertain => {
+                        self.platform.flag_uncertain(task, a)?;
+                        flags_total += 1;
+                        day_flagged += 1;
+                        let label = expert_decision(&mut rng, truth, cfg.expert_accuracy);
+                        self.platform.adjudicate(task, label)?;
+                        adjudicated += 1;
+                        final_labels[item] = Some((label, LabelSource::Adjudicated));
+                        day_committed.push((item, label));
+                    }
+                }
+            }
+
+            // ---- Daily inspection ------------------------------------------
+            let n_inspect =
+                ((day_committed.len() as f64) * cfg.inspection_rate).round() as usize;
+            let (inspected, correct) = if n_inspect > 0 {
+                let picks = sample_indices(&mut rng, day_committed.len(), n_inspect);
+                let mut correct = 0usize;
+                for &k in &picks {
+                    let (item, label) = day_committed[k];
+                    // Expert re-check: the expert knows the true label with
+                    // `expert_accuracy`; model the check as comparing to an
+                    // expert judgment, not raw truth.
+                    let expert = expert_decision(&mut rng, truth_of[item], cfg.expert_accuracy);
+                    if expert == label {
+                        correct += 1;
+                    }
+                }
+                (n_inspect, correct)
+            } else {
+                (0, 0)
+            };
+            let inspection_accuracy = if inspected > 0 {
+                correct as f64 / inspected as f64
+            } else {
+                1.0
+            };
+            days.push(DayStats {
+                day,
+                labeled: day_committed.len(),
+                flagged: day_flagged,
+                inspected,
+                inspection_accuracy,
+                passed: inspection_accuracy >= cfg.inspection_threshold,
+            });
+            day += 1;
+            if day > 10_000 {
+                return Err(RsdError::PipelineState(
+                    "campaign failed to terminate".to_string(),
+                ));
+            }
+        }
+
+        // ---- Agreement ------------------------------------------------------
+        let mut raters: Vec<Vec<usize>> = vec![Vec::new(); cfg.n_annotators];
+        for votes in joint_votes.iter().flatten() {
+            for (r, l) in votes.iter().enumerate() {
+                raters[r].push(l.index());
+            }
+        }
+        let kappa_items = raters[0].len();
+        let fleiss = if kappa_items > 1 {
+            fleiss_kappa_from_raters(&raters, RiskLevel::COUNT)?
+        } else {
+            0.0
+        };
+        let alpha = if joint_ratings.iter().filter(|r| r.len() >= 2).count() > 1 {
+            krippendorff_alpha(&joint_ratings, RiskLevel::COUNT)?
+        } else {
+            0.0
+        };
+
+        // ---- Assemble output -------------------------------------------------
+        let mut out = Vec::with_capacity(items.len());
+        let mut correct_final = 0usize;
+        for (i, slot) in final_labels.iter().enumerate() {
+            let (label, source) = slot.ok_or_else(|| {
+                RsdError::PipelineState(format!("item {i} never received a label"))
+            })?;
+            if label == truth_of[i] {
+                correct_final += 1;
+            }
+            out.push(AnnotatedItem {
+                post: posts[i],
+                label,
+                source,
+            });
+        }
+
+        let report = CampaignReport {
+            fleiss_kappa: fleiss,
+            krippendorff_alpha: alpha,
+            kappa_items,
+            joint_items: joint_idx.len(),
+            individual_items: individual_idx.len(),
+            adjudicated,
+            flag_rate: flags_total as f64 / decisions_total.max(1) as f64,
+            days,
+            qualification,
+            label_accuracy: correct_final as f64 / items.len() as f64,
+        };
+        Ok((out, report))
+    }
+}
+
+/// Supervisor/expert decision: truth with probability `accuracy`, else an
+/// adjacent-class slip.
+fn expert_decision(rng: &mut StdRng, truth: RiskLevel, accuracy: f64) -> RiskLevel {
+    if rng.gen::<f64>() < accuracy {
+        truth
+    } else {
+        let w = confusion_weights(truth);
+        RiskLevel::from_index(weighted_index(rng, &w)).expect("valid index")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsd_corpus::{CorpusConfig, CorpusGenerator};
+
+    fn campaign_items(seed: u64, n_users: usize) -> Vec<(PostId, RiskLevel)> {
+        let corpus = CorpusGenerator::new(CorpusConfig::small(seed, n_users))
+            .unwrap()
+            .generate();
+        corpus
+            .posts
+            .iter()
+            .filter(|p| !p.off_topic && p.duplicate_of.is_none())
+            .map(|p| (p.id, p.latent_risk))
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = CampaignConfig::paper(1);
+        cfg.n_annotators = 2;
+        assert!(Campaign::new(cfg).is_err());
+        let mut cfg = CampaignConfig::paper(1);
+        cfg.joint_fraction = 1.5;
+        assert!(Campaign::new(cfg).is_err());
+        let mut cfg = CampaignConfig::paper(1);
+        cfg.daily_quota = 0;
+        assert!(Campaign::new(cfg).is_err());
+    }
+
+    #[test]
+    fn empty_items_rejected() {
+        let mut c = Campaign::new(CampaignConfig::paper(1)).unwrap();
+        assert!(c.run(&[]).is_err());
+    }
+
+    #[test]
+    fn every_item_receives_exactly_one_label() {
+        let items = campaign_items(41, 600);
+        let mut c = Campaign::new(CampaignConfig::paper(41)).unwrap();
+        let (out, _report) = c.run(&items).unwrap();
+        assert_eq!(out.len(), items.len());
+        for (annotated, (post, _)) in out.iter().zip(&items) {
+            assert_eq!(annotated.post, *post);
+        }
+    }
+
+    #[test]
+    fn kappa_in_papers_neighborhood() {
+        let items = campaign_items(42, 1_500);
+        let mut c = Campaign::new(CampaignConfig::paper(42)).unwrap();
+        let (_, report) = c.run(&items).unwrap();
+        // Paper: κ = 0.7206. The simulation is calibrated to land nearby.
+        assert!(
+            (0.60..=0.85).contains(&report.fleiss_kappa),
+            "kappa {:.4} outside calibration band",
+            report.fleiss_kappa
+        );
+        assert!(report.kappa_items > 0);
+        assert!(report.kappa_items <= report.joint_items);
+        // Alpha covers more items (partial ratings) and should land in the
+        // same agreement neighbourhood as kappa.
+        assert!(
+            (report.krippendorff_alpha - report.fleiss_kappa).abs() < 0.15,
+            "alpha {} vs kappa {}",
+            report.krippendorff_alpha,
+            report.fleiss_kappa
+        );
+    }
+
+    #[test]
+    fn partition_respects_joint_fraction() {
+        let items = campaign_items(43, 800);
+        let mut c = Campaign::new(CampaignConfig::paper(43)).unwrap();
+        let (_, report) = c.run(&items).unwrap();
+        let frac = report.joint_items as f64 / items.len() as f64;
+        assert!((frac - 0.30).abs() < 0.01, "joint fraction {frac}");
+        assert_eq!(report.joint_items + report.individual_items, items.len());
+    }
+
+    #[test]
+    fn daily_quotas_respected() {
+        let items = campaign_items(44, 800);
+        let cfg = CampaignConfig::paper(44);
+        let quota_cap = cfg.daily_quota * cfg.n_annotators;
+        let mut c = Campaign::new(cfg).unwrap();
+        let (_, report) = c.run(&items).unwrap();
+        for day in &report.days {
+            assert!(
+                day.labeled <= quota_cap,
+                "day {} labelled {} > cap {quota_cap}",
+                day.day,
+                day.labeled
+            );
+        }
+        assert!(report.days.len() > 1, "multi-day campaign expected");
+    }
+
+    #[test]
+    fn inspections_pass_with_trained_annotators() {
+        let items = campaign_items(45, 1_000);
+        let mut c = Campaign::new(CampaignConfig::paper(45)).unwrap();
+        let (_, report) = c.run(&items).unwrap();
+        // The paper reports all reviews passed; sampling noise on a small
+        // simulated campaign can fail a single day, so the gate here is:
+        // at most one failed day AND the pooled inspection accuracy above
+        // the 85 % threshold.
+        let failed = report.days.iter().filter(|d| !d.passed).count();
+        assert!(failed <= 1, "{failed}/{} days failed", report.days.len());
+        let (hits, total) = report.days.iter().fold((0.0, 0usize), |(h, t), d| {
+            (h + d.inspection_accuracy * d.inspected as f64, t + d.inspected)
+        });
+        let pooled = hits / total.max(1) as f64;
+        assert!(pooled >= 0.85, "pooled inspection accuracy {pooled}");
+    }
+
+    #[test]
+    fn label_accuracy_high_but_imperfect() {
+        let items = campaign_items(46, 1_000);
+        let mut c = Campaign::new(CampaignConfig::paper(46)).unwrap();
+        let (_, report) = c.run(&items).unwrap();
+        assert!(
+            report.label_accuracy > 0.85 && report.label_accuracy < 0.99,
+            "label accuracy {}",
+            report.label_accuracy
+        );
+    }
+
+    #[test]
+    fn uncertainty_policy_improves_label_quality() {
+        let items = campaign_items(47, 1_000);
+        let mut with = Campaign::new(CampaignConfig::paper(47)).unwrap();
+        let (_, report_with) = with.run(&items).unwrap();
+        let mut cfg = CampaignConfig::paper(47);
+        cfg.uncertainty_policy = false;
+        let mut without = Campaign::new(cfg).unwrap();
+        let (_, report_without) = without.run(&items).unwrap();
+        assert!(
+            report_with.label_accuracy > report_without.label_accuracy,
+            "policy on {} vs off {}",
+            report_with.label_accuracy,
+            report_without.label_accuracy
+        );
+        assert_eq!(report_without.flag_rate, 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let items = campaign_items(48, 400);
+        let run = || {
+            let mut c = Campaign::new(CampaignConfig::paper(48)).unwrap();
+            c.run(&items).unwrap()
+        };
+        let (a, ra) = run();
+        let (b, rb) = run();
+        assert_eq!(a, b);
+        assert_eq!(ra.fleiss_kappa, rb.fleiss_kappa);
+    }
+
+    #[test]
+    fn sources_cover_all_three_kinds() {
+        let items = campaign_items(49, 1_000);
+        let mut c = Campaign::new(CampaignConfig::paper(49)).unwrap();
+        let (out, _) = c.run(&items).unwrap();
+        let has = |s: LabelSource| out.iter().any(|i| i.source == s);
+        assert!(has(LabelSource::Individual));
+        assert!(has(LabelSource::MajorityVote));
+        assert!(has(LabelSource::Adjudicated));
+    }
+}

@@ -1,0 +1,27 @@
+//! Microbench for the annotation campaign: full protocol throughput
+//! (kappa subset, voting, daily inspections) per thousand items.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsd_annotation::{Campaign, CampaignConfig};
+use rsd_corpus::{CorpusConfig, CorpusGenerator, PostId, RiskLevel};
+
+fn bench_campaign(c: &mut Criterion) {
+    let corpus = CorpusGenerator::new(CorpusConfig::small(4, 800))
+        .unwrap()
+        .generate();
+    let items: Vec<(PostId, RiskLevel)> = corpus
+        .posts
+        .iter()
+        .filter(|p| !p.off_topic && p.duplicate_of.is_none())
+        .map(|p| (p.id, p.latent_risk))
+        .collect();
+    c.bench_function("annotation/full_campaign_800_users", |b| {
+        b.iter(|| {
+            let mut campaign = Campaign::new(CampaignConfig::paper(4)).unwrap();
+            campaign.run(&items).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Microbenches for the corpus substrate: generation throughput and the
+//! simulated-API crawl (the machinery behind every table).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rsd_corpus::reddit::CrawlClient;
+use rsd_corpus::{CorpusConfig, CorpusGenerator};
+use rsd_common::Timestamp;
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("corpus/generate_500_users", |b| {
+        b.iter(|| {
+            CorpusGenerator::new(CorpusConfig::small(1, 500))
+                .unwrap()
+                .generate()
+        })
+    });
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    let corpus = CorpusGenerator::new(CorpusConfig::small(2, 2_000))
+        .unwrap()
+        .generate();
+    let store = corpus.into_store();
+    c.bench_function("corpus/crawl_window_2k_users", |b| {
+        b.iter_batched(
+            || CrawlClient::new(&store),
+            |mut client| {
+                client
+                    .crawl_window(
+                        "SuicideWatch",
+                        Timestamp::from_ymd(2020, 1, 1).unwrap(),
+                        Timestamp::from_ymd(2022, 1, 1).unwrap(),
+                    )
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_crawl);
+criterion_main!(benches);

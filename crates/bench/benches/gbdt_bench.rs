@@ -1,0 +1,42 @@
+//! Microbench for the GBDT: multi-class boosting on a realistic feature
+//! width (the XGBoost baseline's training cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use rsd_common::rng::stream_rng;
+use rsd_gbdt::{BinnedMatrix, Booster, BoosterConfig};
+
+fn bench_boosting(c: &mut Criterion) {
+    let mut rng = stream_rng(8, "bench.gbdt");
+    let n = 1_000;
+    let dims = 120;
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..dims).map(|_| rng.gen_range(-1.0..1.0f32)).collect())
+        .collect();
+    let labels: Vec<usize> = rows
+        .iter()
+        .map(|r| {
+            if r[0] > 0.3 { 0 } else if r[1] > 0.0 { 1 } else if r[2] > 0.0 { 2 } else { 3 }
+        })
+        .collect();
+    let matrix = BinnedMatrix::fit(rows, 64).unwrap();
+    c.bench_function("gbdt/fit_20_rounds_1k_x_120", |b| {
+        b.iter(|| {
+            Booster::fit(
+                &matrix,
+                &labels,
+                None,
+                BoosterConfig {
+                    n_classes: 4,
+                    n_rounds: 20,
+                    early_stopping: 0,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_boosting);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end table replicas at smoke scale, so `cargo bench` touches
+//! every experiment pathway (dataset build -> stats -> XGBoost row).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsd_bench::{table3_configs, Prepared, Scale};
+use rsd_dataset::stats::{class_distribution, posts_per_user_histogram, top_user_risk_profiles};
+use rsd_models::XgboostBaseline;
+
+fn bench_dataset_build(c: &mut Criterion) {
+    c.bench_function("tables/build_small_dataset", |b| {
+        b.iter(|| Prepared::build(Scale::Small, 9))
+    });
+}
+
+fn bench_stats_tables(c: &mut Criterion) {
+    let prepared = Prepared::build(Scale::Small, 10);
+    c.bench_function("tables/table1_fig1_fig4_stats", |b| {
+        b.iter(|| {
+            let t1 = class_distribution(&prepared.dataset);
+            let f1 = posts_per_user_histogram(&prepared.dataset, 60);
+            let f4 = top_user_risk_profiles(&prepared.dataset, 20);
+            (t1.len(), f1.total, f4.len())
+        })
+    });
+}
+
+fn bench_table3_xgboost_row(c: &mut Criterion) {
+    let prepared = Prepared::build(Scale::Small, 11);
+    let cfgs = table3_configs(Scale::Small);
+    c.bench_function("tables/table3_xgboost_row_small", |b| {
+        b.iter(|| {
+            XgboostBaseline::new(cfgs.xgboost.clone())
+                .run(&prepared.bench_data())
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dataset_build, bench_stats_tables, bench_table3_xgboost_row
+}
+criterion_main!(benches);

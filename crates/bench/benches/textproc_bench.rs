@@ -1,0 +1,37 @@
+//! Microbenches for the preprocessing pipeline and TF-IDF vectorization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsd_corpus::{CorpusConfig, CorpusGenerator};
+use rsd_text::{Preprocessor, TfIdfVectorizer};
+
+fn corpus_bodies(n_users: usize) -> Vec<String> {
+    CorpusGenerator::new(CorpusConfig::small(3, n_users))
+        .unwrap()
+        .generate()
+        .posts
+        .into_iter()
+        .map(|p| p.body)
+        .collect()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let bodies = corpus_bodies(1_000);
+    c.bench_function("textproc/preprocess_1k_users_pool", |b| {
+        b.iter(|| Preprocessor::default().run(&bodies))
+    });
+}
+
+fn bench_tfidf(c: &mut Criterion) {
+    let bodies = corpus_bodies(500);
+    let cleaned: Vec<String> = Preprocessor::default().run(&bodies).cleaned;
+    let refs: Vec<&str> = cleaned.iter().map(String::as_str).collect();
+    c.bench_function("textproc/tfidf_fit_transform", |b| {
+        b.iter(|| {
+            let v = TfIdfVectorizer::fit(refs.iter().copied(), 2, Some(300)).unwrap();
+            cleaned.iter().map(|d| v.transform(d).nnz()).sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_tfidf);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Probe: MLM pretraining convergence under different settings.
+use rand::SeedableRng;
+use rsd_bench::{Prepared, Scale};
+use rsd_models::encoding::TaskEncoder;
+use rsd_models::pretrain::{mlm_pretrain, PretrainConfig};
+use rsd_nn::transformer::{Encoder, EncoderConfig, MlmHead, PositionMode};
+use rsd_nn::ParamStore;
+
+fn main() {
+    let prepared = Prepared::build(Scale::Mid, 2026);
+    let texts: Vec<String> = prepared.unlabeled.iter().take(1500).cloned().collect();
+    let enc = TaskEncoder::fit_on_texts(&texts, 2000, 56);
+    println!("vocab={} texts={}", enc.vocab.len(), texts.len());
+    for (lr, batch) in [(1.5e-3f32, 16usize), (3e-3, 8), (1e-2, 8)] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let cfg = EncoderConfig {
+            vocab: enc.vocab.len(), dim: 48, layers: 2, heads: 4, ffn_dim: 96,
+            max_len: 56, dropout: 0.1, positions: PositionMode::Absolute,
+        };
+        let encoder = Encoder::new(&mut store, "e", cfg, &mut rng);
+        let head = MlmHead::new(&mut store, "mlm", 48, enc.vocab.len(), &mut rng);
+        print!("lr={lr} batch={batch}: ");
+        for epoch in 0..6 {
+            let loss = mlm_pretrain(&encoder, &head, &mut store, &enc, &texts,
+                &PretrainConfig { epochs: 1, batch, lr, ..Default::default() }, 100 + epoch).unwrap();
+            print!("{loss:.3} ");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,30 @@
+//! Export the built dataset as JSONL and CSV release artifacts (the form
+//! the real RSD-15K ships in), after running the §IV privacy audit.
+
+use rsd_bench::Prepared;
+use rsd_dataset::{io, privacy};
+
+fn main() {
+    let prepared = Prepared::from_env();
+    let audit = privacy::audit(&prepared.dataset);
+    assert!(
+        audit.passed(),
+        "privacy audit failed; refusing to export: {:?}",
+        audit.findings
+    );
+    let dir = std::env::var("RSD_EXPORT_DIR").unwrap_or_else(|_| "export".to_string());
+    std::fs::create_dir_all(&dir).expect("create export dir");
+    let jsonl = format!("{dir}/rsd15k.jsonl");
+    let csv = format!("{dir}/rsd15k.csv");
+    io::save(&prepared.dataset, &jsonl).expect("write jsonl");
+    let file = std::fs::File::create(&csv).expect("create csv");
+    io::to_csv(&prepared.dataset, file).expect("write csv");
+    println!(
+        "exported {} posts / {} users (privacy audit: {} posts scanned, clean)",
+        prepared.dataset.n_posts(),
+        prepared.dataset.n_users(),
+        audit.posts_scanned
+    );
+    println!("  {jsonl}");
+    println!("  {csv}");
+}

@@ -1,0 +1,26 @@
+//! Fig. 1: distribution of posts per user (ASCII histogram).
+
+use rsd_bench::Prepared;
+use rsd_dataset::stats::posts_per_user_histogram;
+
+fn main() {
+    let prepared = Prepared::from_env();
+    let hist = posts_per_user_histogram(&prepared.dataset, 60);
+    println!("Fig. 1 — Distribution of Posts per User (scale {:?})", prepared.scale);
+    let max = hist.counts.iter().copied().max().unwrap_or(1).max(1);
+    for ((lo, hi), count) in hist.bucket_ranges().iter().zip(&hist.counts) {
+        if *count == 0 { continue; }
+        let bar = "#".repeat((count * 50 / max) as usize);
+        let label = if hi.is_infinite() {
+            format!("{:>3}+", lo)
+        } else {
+            format!("{:>4}", lo)
+        };
+        println!("{label} | {bar} {count}");
+    }
+    println!();
+    println!(
+        "fraction of users with < 20 posts: {:.1}% (paper: 'the majority of users have fewer than 20 historical posts')",
+        hist.fraction_below(20.0) * 100.0
+    );
+}

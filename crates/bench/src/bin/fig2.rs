@@ -1,0 +1,17 @@
+//! Fig. 2: Indicator and Ideation word-cloud data (top content unigrams).
+
+use rsd_bench::Prepared;
+use rsd_corpus::RiskLevel;
+use rsd_dataset::stats::class_word_frequencies;
+
+fn main() {
+    let prepared = Prepared::from_env();
+    for level in [RiskLevel::Indicator, RiskLevel::Ideation] {
+        let n = prepared.dataset.class_counts()[level.index()];
+        println!("Fig. 2 — {level} word cloud (n={n}):");
+        for (word, count) in class_word_frequencies(&prepared.dataset, level, 25) {
+            println!("  {word:<20} {count}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,21 @@
+//! Fig. 4: risk-level distribution for the 20 most active users
+//! (stacked ASCII bars; identifiers removed, as in the paper).
+
+use rsd_bench::Prepared;
+use rsd_corpus::RiskLevel;
+use rsd_dataset::stats::top_user_risk_profiles;
+
+fn main() {
+    let prepared = Prepared::from_env();
+    println!("Fig. 4 — Risk Level Distribution for Most Active Users (Top 20)");
+    println!("legend: I=Indicator  D=Ideation  B=Behavior  A=Attempt");
+    let profiles = top_user_risk_profiles(&prepared.dataset, 20);
+    for (rank, p) in profiles.iter().enumerate() {
+        let mut bar = String::new();
+        let glyphs = ['I', 'D', 'B', 'A'];
+        for level in RiskLevel::ALL {
+            bar.extend(std::iter::repeat_n(glyphs[level.index()], p.class_counts[level.index()]));
+        }
+        println!("user #{:<2} ({:>3} posts) | {bar}", rank + 1, p.total);
+    }
+}

@@ -1,0 +1,19 @@
+//! Table II: dataset comparison. Prior rows are quoted from the paper;
+//! the "Ours" row is computed from the actually-built dataset.
+
+use rsd_bench::Prepared;
+use rsd_dataset::compare::{comparison_table, render_row};
+
+fn main() {
+    let prepared = Prepared::from_env();
+    println!("Table II — Dataset Comparison (Ours computed at {:?} scale)", prepared.scale);
+    let header = format!(
+        "{:<48} {:<17} {:>8} {:>7}  {:<10} {:^4} {:^6} {:^5}",
+        "Dataset", "Source", "Posts", "Users", "RiskLevel", "Fine", "Manual", "Avail"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+    for row in comparison_table(&prepared.dataset) {
+        println!("{}", render_row(&row));
+    }
+}

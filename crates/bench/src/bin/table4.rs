@@ -1,0 +1,79 @@
+//! Table IV: data-scale study — DeBERTa Large + full optimization on a
+//! small user subsample vs DeBERTa Base + defaults on the full dataset.
+
+use rsd_bench::{Prepared, Scale};
+use rsd_models::pretrain::PretrainConfig;
+use rsd_models::scale::run_scale_study;
+use rsd_models::{PlmConfig, PlmKind, TrainConfig};
+
+fn main() {
+    let prepared = Prepared::from_env();
+    let small_users = match prepared.scale {
+        Scale::Paper => 500,
+        Scale::Mid => 120,
+        Scale::Small => 16,
+    };
+    let (mlm_epochs, large_epochs, base_epochs) = match prepared.scale {
+        Scale::Small => (1, 2, 1),
+        _ => (2, 12, 8),
+    };
+    let pool = prepared.scale.pretrain_texts();
+
+    let large = PlmConfig {
+        pretrain_texts: pool,
+        pretrain: PretrainConfig { epochs: mlm_epochs, ..Default::default() },
+        train: TrainConfig {
+            epochs: large_epochs,
+            lr: 7e-4,
+            patience: 4,
+            balanced: true,
+            ..Default::default()
+        },
+        ..PlmConfig::large(PlmKind::Deberta)
+    };
+    let base = PlmConfig {
+        pretrain_texts: pool,
+        pretrain: PretrainConfig { epochs: mlm_epochs, ..Default::default() },
+        train: TrainConfig { epochs: base_epochs, lr: 8e-4, patience: 3, ..Default::default() },
+        ..PlmConfig::base(PlmKind::Deberta)
+    };
+
+    println!(
+        "Table IV — DeBERTa across dataset sizes (scale {:?}, seed {})",
+        prepared.scale, prepared.seed
+    );
+    let rows = run_scale_study(
+        &prepared.dataset,
+        &prepared.unlabeled,
+        small_users,
+        large,
+        base,
+        prepared.seed,
+    )
+    .expect("scale study");
+
+    println!(
+        "{:<6} {:<6} {:<5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>6} {:>9}",
+        "Data", "Model", "Opt.", "IN", "ID", "BR", "AT", "M-F1", "Acc.", "params"
+    );
+    println!("{}", "-".repeat(68));
+    for r in &rows {
+        println!(
+            "{:<6} {:<6} {:<5} {:>5.2} {:>5.2} {:>5.2} {:>5.2} {:>6.2} {:>5.0}% {:>9}",
+            r.data,
+            r.model,
+            if r.optimized { "Full" } else { "No" },
+            r.class_f1[0],
+            r.class_f1[1],
+            r.class_f1[2],
+            r.class_f1[3],
+            r.macro_f1,
+            r.accuracy * 100.0,
+            r.params
+        );
+    }
+    println!();
+    println!("Paper: 500/Large/Full -> IN .69 ID .75 BR .67 AT .84, M-F1 .74, Acc 74%");
+    println!("       15K/Base/No    -> IN .79 ID .80 BR .60 AT .59, M-F1 .70, Acc 76%");
+    println!("Claim: the large dataset lets an untuned Base model match/beat a fully-tuned Large model on small data.");
+}

@@ -1,0 +1,214 @@
+//! Reproduction harness: shared plumbing for the per-table/per-figure
+//! binaries and the Criterion benches.
+//!
+//! Every binary follows the same shape: build (or reuse) the dataset at
+//! the requested scale, run the experiment, print rows in the paper's
+//! layout. Scale is controlled by `RSD_SCALE`:
+//!
+//! * `paper` — full scale (76,186 raw users → 1,265 annotated users,
+//!   ≈14.6k posts). Minutes of wall-clock on one core.
+//! * `mid` *(default)* — ≈1/4 of the annotated users with identical
+//!   distributional shape; tens of seconds per model.
+//! * `small` — smoke-test scale for CI.
+//!
+//! `RSD_SEED` overrides the default seed (2026).
+
+use std::time::Instant;
+
+use rsd_dataset::{BuildConfig, BuildReport, DatasetBuilder, DatasetSplits, Rsd15k, SplitConfig};
+use rsd_models::pretrain::PretrainConfig;
+use rsd_models::{
+    BenchData, BiLstmConfig, HiGruConfig, PlmConfig, PlmKind, TrainConfig, XgboostConfig,
+};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full paper scale.
+    Paper,
+    /// Quarter-ish scale (default).
+    Mid,
+    /// Smoke-test scale.
+    Small,
+}
+
+impl Scale {
+    /// Read from `RSD_SCALE` (default `mid`).
+    pub fn from_env() -> Scale {
+        match std::env::var("RSD_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            Ok("small") => Scale::Small,
+            _ => Scale::Mid,
+        }
+    }
+
+    /// The dataset build configuration for this scale.
+    pub fn build_config(self, seed: u64) -> BuildConfig {
+        match self {
+            Scale::Paper => BuildConfig::paper(seed),
+            Scale::Mid => BuildConfig::scaled(seed, 24_000, 400),
+            Scale::Small => BuildConfig::scaled(seed, 2_500, 48),
+        }
+    }
+
+    /// Pretraining-pool size for the PLM baselines.
+    pub fn pretrain_texts(self) -> usize {
+        match self {
+            Scale::Paper => 4_000,
+            Scale::Mid => 1_500,
+            Scale::Small => 150,
+        }
+    }
+}
+
+/// Seed from `RSD_SEED` (default 2026).
+pub fn seed_from_env() -> u64 {
+    std::env::var("RSD_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2026)
+}
+
+/// A prepared experiment environment.
+pub struct Prepared {
+    /// The built dataset.
+    pub dataset: Rsd15k,
+    /// User-disjoint splits (window = 5).
+    pub splits: DatasetSplits,
+    /// Unlabelled pool for pretraining.
+    pub unlabeled: Vec<String>,
+    /// Build-stage report (kappa, preprocessing, crawl stats).
+    pub report: BuildReport,
+    /// Scale used.
+    pub scale: Scale,
+    /// Seed used.
+    pub seed: u64,
+}
+
+impl Prepared {
+    /// Build everything for the current env-configured scale/seed.
+    pub fn from_env() -> Prepared {
+        let scale = Scale::from_env();
+        let seed = seed_from_env();
+        Self::build(scale, seed)
+    }
+
+    /// Build at an explicit scale/seed.
+    pub fn build(scale: Scale, seed: u64) -> Prepared {
+        let t0 = Instant::now();
+        eprintln!("[harness] building dataset at {scale:?} scale (seed {seed})...");
+        let (dataset, unlabeled, report) = DatasetBuilder::new(scale.build_config(seed))
+            .build_with_pool()
+            .expect("dataset build failed");
+        let splits = DatasetSplits::new(
+            &dataset,
+            SplitConfig {
+                seed,
+                ..Default::default()
+            },
+        )
+        .expect("split failed");
+        eprintln!(
+            "[harness] built: {} posts / {} users / {} unlabeled pool texts in {:.1?}",
+            dataset.n_posts(),
+            dataset.n_users(),
+            unlabeled.len(),
+            t0.elapsed()
+        );
+        Prepared {
+            dataset,
+            splits,
+            unlabeled,
+            report,
+            scale,
+            seed,
+        }
+    }
+
+    /// Borrow as [`BenchData`].
+    pub fn bench_data(&self) -> BenchData<'_> {
+        BenchData {
+            dataset: &self.dataset,
+            splits: &self.splits,
+            unlabeled: &self.unlabeled,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Table III model configurations for a scale.
+pub struct Table3Configs {
+    /// XGBoost baseline.
+    pub xgboost: XgboostConfig,
+    /// BiLSTM baseline.
+    pub bilstm: BiLstmConfig,
+    /// HiGRU baseline.
+    pub higru: HiGruConfig,
+    /// RoBERTa-style PLM.
+    pub roberta: PlmConfig,
+    /// DeBERTa-style PLM.
+    pub deberta: PlmConfig,
+}
+
+/// Build the per-scale model configurations.
+pub fn table3_configs(scale: Scale) -> Table3Configs {
+    let (mlm_epochs, nn_epochs) = match scale {
+        Scale::Paper => (4, 14),
+        Scale::Mid => (4, 14),
+        Scale::Small => (1, 3),
+    };
+    let pretrain_texts = scale.pretrain_texts();
+
+    let plm = |kind: PlmKind| PlmConfig {
+        pretrain_texts,
+        pretrain: PretrainConfig {
+            epochs: mlm_epochs,
+            lr: 1.5e-3,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            epochs: nn_epochs,
+            lr: 8e-4,
+            patience: 5,
+            ..Default::default()
+        },
+        ..PlmConfig::base(kind)
+    };
+
+    Table3Configs {
+        xgboost: XgboostConfig::default(),
+        bilstm: BiLstmConfig {
+            train: TrainConfig {
+                epochs: nn_epochs,
+                lr: 2e-3,
+                patience: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        higru: HiGruConfig {
+            train: TrainConfig {
+                epochs: nn_epochs,
+                lr: 2e-3,
+                patience: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        roberta: plm(PlmKind::Roberta),
+        deberta: plm(PlmKind::Deberta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_prepares() {
+        let p = Prepared::build(Scale::Small, 1);
+        assert!(p.dataset.n_posts() > 100);
+        assert!(!p.unlabeled.is_empty());
+        assert!(p.splits.is_user_disjoint());
+    }
+}

@@ -1,0 +1,123 @@
+//! Workspace-wide error type.
+//!
+//! A single flat enum keeps error plumbing trivial across the eleven crates
+//! of the workspace; variants carry enough context to diagnose failures in
+//! pipelines (generation → annotation → dataset → model) without chaining.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = RsdError> = std::result::Result<T, E>;
+
+/// Errors produced anywhere in the RSD-15K reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsdError {
+    /// A caller supplied an invalid configuration value.
+    InvalidConfig {
+        /// Which parameter was invalid.
+        field: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+    /// Input data violated a structural requirement (empty corpus, mismatched
+    /// lengths, unknown label, ...).
+    InvalidData(String),
+    /// An entity lookup failed (user id, post id, task id, model name).
+    NotFound {
+        /// The kind of entity that was requested ("user", "post", "task", ...).
+        entity: &'static str,
+        /// The identifier that failed to resolve.
+        id: String,
+    },
+    /// A numeric routine left its domain (NaN loss, singular split, ...).
+    Numeric(String),
+    /// Serialization / deserialization failure.
+    Serde(String),
+    /// An I/O failure, stringified (std::io::Error is not Clone/PartialEq).
+    Io(String),
+    /// A pipeline stage was invoked out of order (e.g. exporting annotations
+    /// before the project finished).
+    PipelineState(String),
+}
+
+impl RsdError {
+    /// Shorthand for an [`RsdError::InvalidConfig`].
+    pub fn config(field: &'static str, message: impl Into<String>) -> Self {
+        RsdError::InvalidConfig {
+            field,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for an [`RsdError::InvalidData`].
+    pub fn data(message: impl Into<String>) -> Self {
+        RsdError::InvalidData(message.into())
+    }
+
+    /// Shorthand for an [`RsdError::NotFound`].
+    pub fn not_found(entity: &'static str, id: impl fmt::Display) -> Self {
+        RsdError::NotFound {
+            entity,
+            id: id.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for RsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsdError::InvalidConfig { field, message } => {
+                write!(f, "invalid configuration for `{field}`: {message}")
+            }
+            RsdError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+            RsdError::NotFound { entity, id } => write!(f, "{entity} not found: {id}"),
+            RsdError::Numeric(msg) => write!(f, "numeric error: {msg}"),
+            RsdError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            RsdError::Io(msg) => write!(f, "io error: {msg}"),
+            RsdError::PipelineState(msg) => write!(f, "pipeline state error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RsdError {}
+
+impl From<std::io::Error> for RsdError {
+    fn from(err: std::io::Error) -> Self {
+        RsdError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = RsdError::config("window", "must be positive");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration for `window`: must be positive"
+        );
+        let e = RsdError::not_found("user", 42);
+        assert_eq!(e.to_string(), "user not found: 42");
+        let e = RsdError::data("empty corpus");
+        assert_eq!(e.to_string(), "invalid data: empty corpus");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("boom");
+        let e: RsdError = io.into();
+        assert!(matches!(e, RsdError::Io(_)));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            RsdError::data("x"),
+            RsdError::InvalidData("x".to_string())
+        );
+        assert_ne!(RsdError::data("x"), RsdError::data("y"));
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Shared foundations for the RSD-15K reproduction.
+//!
+//! This crate deliberately has no heavyweight dependencies: it provides the
+//! small, deterministic building blocks every other crate in the workspace
+//! leans on —
+//!
+//! * [`error`] — the workspace-wide error type ([`RsdError`]) and result alias.
+//! * [`time`] — civil-time arithmetic over Unix epoch seconds. The paper's
+//!   corpus spans 01/2020–12/2021 and several baselines consume hour-of-day /
+//!   weekday / night-posting features, so we need calendar math without
+//!   pulling in a date crate.
+//! * [`rng`] — seed derivation and the heavy-tailed samplers the corpus
+//!   generator uses (log-normal posts-per-user, exponential inter-post gaps).
+//! * [`stats`] — descriptive statistics, histograms and numeric kernels
+//!   (softmax, log-sum-exp) shared by the feature extractors and models.
+//!
+//! Everything here is pure and deterministic: no wall clock, no global state.
+
+pub mod error;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use error::{Result, RsdError};
+pub use time::{CivilDateTime, Timestamp, Weekday};

@@ -1,0 +1,202 @@
+//! Dataset serialization: JSON-lines round-trip and CSV export.
+//!
+//! The published RSD-15K ships as structured records; JSON-lines is the
+//! interchange format here (one post per line, plus a header object with
+//! user timelines), and CSV export serves spreadsheet-style analysis.
+//! Deserialization re-validates the structural invariants before returning.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{Post, Rsd15k, UserRecord};
+use rsd_common::{Result, RsdError};
+
+/// Header line of the JSONL format.
+#[derive(Debug, Serialize, Deserialize)]
+struct Header {
+    format: String,
+    version: u32,
+    seed: u64,
+    n_posts: usize,
+    users: Vec<UserRecord>,
+}
+
+const FORMAT_NAME: &str = "rsd15k-jsonl";
+const FORMAT_VERSION: u32 = 1;
+
+/// Serialize to JSON-lines: a header object, then one post per line.
+pub fn to_jsonl<W: Write>(dataset: &Rsd15k, writer: W) -> Result<()> {
+    let mut out = BufWriter::new(writer);
+    let header = Header {
+        format: FORMAT_NAME.to_string(),
+        version: FORMAT_VERSION,
+        seed: dataset.seed,
+        n_posts: dataset.posts.len(),
+        users: dataset.users.clone(),
+    };
+    serde_json::to_writer(&mut out, &header).map_err(|e| RsdError::Serde(e.to_string()))?;
+    out.write_all(b"\n")?;
+    for post in &dataset.posts {
+        serde_json::to_writer(&mut out, post).map_err(|e| RsdError::Serde(e.to_string()))?;
+        out.write_all(b"\n")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Deserialize from JSON-lines, validating structure.
+pub fn from_jsonl<R: BufRead>(reader: R) -> Result<Rsd15k> {
+    let mut lines = reader.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| RsdError::Serde("empty input".to_string()))??;
+    let header: Header =
+        serde_json::from_str(&header_line).map_err(|e| RsdError::Serde(e.to_string()))?;
+    if header.format != FORMAT_NAME {
+        return Err(RsdError::Serde(format!(
+            "unknown format {:?}",
+            header.format
+        )));
+    }
+    if header.version != FORMAT_VERSION {
+        return Err(RsdError::Serde(format!(
+            "unsupported version {}",
+            header.version
+        )));
+    }
+    let mut posts = Vec::with_capacity(header.n_posts);
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let post: Post =
+            serde_json::from_str(&line).map_err(|e| RsdError::Serde(e.to_string()))?;
+        posts.push(post);
+    }
+    if posts.len() != header.n_posts {
+        return Err(RsdError::Serde(format!(
+            "header declares {} posts, found {}",
+            header.n_posts,
+            posts.len()
+        )));
+    }
+    let dataset = Rsd15k {
+        posts,
+        users: header.users,
+        seed: header.seed,
+    };
+    dataset.validate()?;
+    Ok(dataset)
+}
+
+/// Write the dataset to a JSONL file.
+pub fn save(dataset: &Rsd15k, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    to_jsonl(dataset, file)
+}
+
+/// Read a dataset from a JSONL file.
+pub fn load(path: impl AsRef<Path>) -> Result<Rsd15k> {
+    let file = std::fs::File::open(path)?;
+    from_jsonl(std::io::BufReader::new(file))
+}
+
+/// Export posts as CSV (`post_id,user_id,created,label,source,text`); text
+/// is quoted with doubled internal quotes per RFC 4180.
+pub fn to_csv<W: Write>(dataset: &Rsd15k, writer: W) -> Result<()> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "post_id,user_id,created,label,source,text")?;
+    for p in &dataset.posts {
+        let text = p.text.replace('"', "\"\"");
+        writeln!(
+            out,
+            "{},{},{},{},{:?},\"{}\"",
+            p.id.0, p.user.0, p.created.0, p.label, p.source, text
+        )?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::test_fixtures::tiny;
+
+    #[test]
+    fn jsonl_round_trip() {
+        let d = tiny();
+        let mut buf = Vec::new();
+        to_jsonl(&d, &mut buf).unwrap();
+        let back = from_jsonl(&buf[..]).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let d = tiny();
+        let path = std::env::temp_dir().join("rsd15k_io_test.jsonl");
+        save(&d, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(d, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_format_and_version() {
+        let bad = br#"{"format":"other","version":1,"seed":0,"n_posts":0,"users":[]}"#;
+        assert!(from_jsonl(&bad[..]).is_err());
+        let bad = br#"{"format":"rsd15k-jsonl","version":9,"seed":0,"n_posts":0,"users":[]}"#;
+        assert!(from_jsonl(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_posts() {
+        let d = tiny();
+        let mut buf = Vec::new();
+        to_jsonl(&d, &mut buf).unwrap();
+        // Drop the last line.
+        let text = String::from_utf8(buf).unwrap();
+        let truncated: String = text.lines().take(d.posts.len()).collect::<Vec<_>>().join("\n");
+        assert!(from_jsonl(truncated.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_structure() {
+        let mut d = tiny();
+        d.users[0].post_indices.pop(); // orphaned post
+        let mut buf = Vec::new();
+        to_jsonl(&d, &mut buf).unwrap();
+        assert!(from_jsonl(&buf[..]).is_err(), "validation must run on load");
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(from_jsonl(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let d = tiny();
+        let mut buf = Vec::new();
+        to_csv(&d, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), d.posts.len() + 1);
+        assert!(lines[0].starts_with("post_id,"));
+        assert!(lines[1].contains("Indicator"));
+    }
+
+    #[test]
+    fn csv_escapes_quotes() {
+        let mut d = tiny();
+        d.posts[0].text = "he said \"hi\"".to_string();
+        let mut buf = Vec::new();
+        to_csv(&d, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"he said \"\"hi\"\"\""));
+    }
+}

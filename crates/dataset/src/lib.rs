@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! The RSD-15K dataset core: records, builder pipeline, splits, IO and the
+//! statistics behind every figure and table in the paper's §II.
+//!
+//! * [`record`] — the published schema: annotated [`Post`]s with complete
+//!   per-user chronological timelines ([`UserRecord`]), wrapped in
+//!   [`Rsd15k`].
+//! * [`builder`] — the end-to-end construction pipeline: generate the raw
+//!   pool → crawl it through the simulated Reddit API → preprocess →
+//!   select the annotation pool → run the annotation campaign → assemble
+//!   the dataset. One call reproduces the paper's data section.
+//! * [`splits`] — user-disjoint 80/10/10 partitioning and the
+//!   `window = 5` sequential-post extraction the benchmark task uses.
+//! * [`io`] — JSON-lines round-trip and CSV export.
+//! * [`stats`] — Table I (class distribution), Fig. 1 (posts per user),
+//!   Figs. 2–3 (per-class word frequencies), Fig. 4 (top-20 active users).
+//! * [`compare`] — Table II (comparison with prior datasets).
+//! * [`trajectory`] — risk-evolution analytics (transition matrices,
+//!   escalation events, per-user severity trends).
+//! * [`privacy`] — the §IV anonymization audit.
+
+pub mod builder;
+pub mod compare;
+pub mod io;
+pub mod privacy;
+pub mod record;
+pub mod splits;
+pub mod stats;
+pub mod trajectory;
+
+pub use builder::{BuildConfig, BuildReport, DatasetBuilder};
+pub use record::{Post, Rsd15k, UserRecord};
+pub use splits::{DatasetSplits, SplitConfig, UserWindow};

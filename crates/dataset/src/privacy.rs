@@ -1,0 +1,141 @@
+//! Privacy and ethics audit (paper §IV).
+//!
+//! "All personal identifiers (such as usernames, specific post identifiers,
+//! and other metadata) were removed. After this anonymization process,
+//! there is no way to re-identify users from the data."
+//!
+//! The builder already publishes only dense pseudonymous ids; this module
+//! provides the *audit* that verifies the posture on any dataset instance —
+//! the check a data steward would run before release.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::Rsd15k;
+
+/// One privacy finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivacyFinding {
+    /// Index of the offending post.
+    pub post_index: usize,
+    /// What was found.
+    pub issue: String,
+}
+
+/// Outcome of a privacy audit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivacyAudit {
+    /// Individual findings (empty = clean).
+    pub findings: Vec<PrivacyFinding>,
+    /// Posts scanned.
+    pub posts_scanned: usize,
+}
+
+impl PrivacyAudit {
+    /// True when no findings were raised.
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Substring patterns that indicate identifier leakage in body text.
+const LEAK_PATTERNS: &[(&str, &str)] = &[
+    ("http://", "URL survived anonymization"),
+    ("https://", "URL survived anonymization"),
+    ("www.", "URL survived anonymization"),
+    ("u/", "reddit username reference"),
+    ("r/", "subreddit reference"),
+    ("@", "social handle"),
+    (".com", "domain reference"),
+];
+
+/// Run the §IV audit: ids must be dense pseudonyms, and no post body may
+/// contain identifier-like patterns.
+pub fn audit(dataset: &Rsd15k) -> PrivacyAudit {
+    let mut findings = Vec::new();
+
+    for (i, post) in dataset.posts.iter().enumerate() {
+        for (pattern, issue) in LEAK_PATTERNS {
+            if contains_token_with(&post.text, pattern) {
+                findings.push(PrivacyFinding {
+                    post_index: i,
+                    issue: format!("{issue} ({pattern:?})"),
+                });
+            }
+        }
+    }
+
+    // Ids must be dense 0..n — a published id that encodes crawl order or
+    // platform ids would leak linkage to the raw pool.
+    for (i, post) in dataset.posts.iter().enumerate() {
+        if post.id.0 as usize != i {
+            findings.push(PrivacyFinding {
+                post_index: i,
+                issue: "post id is not a dense pseudonym".to_string(),
+            });
+        }
+    }
+    let max_user = dataset.posts.iter().map(|p| p.user.0).max().unwrap_or(0);
+    if dataset.n_users() > 0 && (max_user as usize) >= dataset.n_users() {
+        findings.push(PrivacyFinding {
+            post_index: 0,
+            issue: "user id space is not dense".to_string(),
+        });
+    }
+
+    PrivacyAudit {
+        findings,
+        posts_scanned: dataset.posts.len(),
+    }
+}
+
+/// True if any whitespace-delimited token of `text` contains `pattern`.
+/// (Token-scoped so "r/" matches "r/SuicideWatch" but a sentence ending in
+/// "...better/ worse" is not falsely flagged by "/".)
+fn contains_token_with(text: &str, pattern: &str) -> bool {
+    text.split_whitespace().any(|t| t.contains(pattern))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::test_fixtures::tiny;
+    use crate::{BuildConfig, DatasetBuilder};
+
+    #[test]
+    fn built_dataset_passes_audit() {
+        let (d, _) = DatasetBuilder::new(BuildConfig::scaled(401, 2_000, 40))
+            .build()
+            .unwrap();
+        let audit = audit(&d);
+        assert!(audit.passed(), "findings: {:?}", audit.findings);
+        assert_eq!(audit.posts_scanned, d.n_posts());
+    }
+
+    #[test]
+    fn url_leak_detected() {
+        let mut d = tiny();
+        d.posts[1].text = "see https://example.com/me".to_string();
+        let a = audit(&d);
+        assert!(!a.passed());
+        assert!(a.findings.iter().any(|f| f.post_index == 1));
+    }
+
+    #[test]
+    fn username_reference_detected() {
+        let mut d = tiny();
+        d.posts[0].text = "talk to u/realname about it".to_string();
+        assert!(!audit(&d).passed());
+    }
+
+    #[test]
+    fn non_dense_ids_detected() {
+        let mut d = tiny();
+        d.posts[2].id = rsd_corpus::PostId(999);
+        assert!(!audit(&d).passed());
+    }
+
+    #[test]
+    fn clean_fixture_passes() {
+        assert!(audit(&tiny()).passed());
+    }
+}

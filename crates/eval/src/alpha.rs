@@ -1,0 +1,151 @@
+//! Krippendorff's alpha for nominal data with missing ratings.
+//!
+//! Fleiss' kappa (the paper's agreement statistic) requires every item to
+//! carry the same number of ratings — but under the uncertainty-reporting
+//! policy annotators *abstain*, leaving items with 2 of 3 labels.
+//! Krippendorff's alpha handles exactly this, so the campaign audit can
+//! report agreement over *all* joint items rather than only fully-labelled
+//! ones. Standard nominal-metric formulation:
+//!
+//! ```text
+//! α = 1 − D_o / D_e
+//! ```
+//!
+//! with observed/expected disagreement computed from coincidence counts.
+
+use rsd_common::{Result, RsdError};
+
+/// Krippendorff's alpha for nominal categories.
+///
+/// `items[i]` holds the ratings item `i` received (any number ≥ 0; items
+/// with fewer than 2 ratings are ignored, as the statistic requires a
+/// pairable unit). `n_categories` bounds the category ids.
+pub fn krippendorff_alpha(items: &[Vec<usize>], n_categories: usize) -> Result<f64> {
+    if n_categories < 2 {
+        return Err(RsdError::data("alpha: need at least 2 categories"));
+    }
+    // Coincidence matrix over pairable units.
+    let mut coincidence = vec![0.0f64; n_categories * n_categories];
+    let mut pairable_units = 0usize;
+    for item in items {
+        let m = item.len();
+        if m < 2 {
+            continue;
+        }
+        for &v in item {
+            if v >= n_categories {
+                return Err(RsdError::data(format!("alpha: category {v} out of range")));
+            }
+        }
+        pairable_units += 1;
+        let weight = 1.0 / (m as f64 - 1.0);
+        for (i, &a) in item.iter().enumerate() {
+            for (j, &b) in item.iter().enumerate() {
+                if i != j {
+                    coincidence[a * n_categories + b] += weight;
+                }
+            }
+        }
+    }
+    if pairable_units == 0 {
+        return Err(RsdError::data("alpha: no items with >= 2 ratings"));
+    }
+
+    let n_total: f64 = coincidence.iter().sum();
+    let marginals: Vec<f64> = (0..n_categories)
+        .map(|c| (0..n_categories).map(|k| coincidence[c * n_categories + k]).sum())
+        .collect();
+
+    let observed_agreement: f64 = (0..n_categories)
+        .map(|c| coincidence[c * n_categories + c])
+        .sum();
+    let d_o = 1.0 - observed_agreement / n_total;
+
+    let expected_agreement: f64 = marginals
+        .iter()
+        .map(|&m| m * (m - 1.0))
+        .sum::<f64>()
+        / (n_total * (n_total - 1.0));
+    let d_e = 1.0 - expected_agreement;
+
+    if d_e.abs() < 1e-12 {
+        // All mass in one category: agreement is trivially perfect.
+        return Ok(1.0);
+    }
+    Ok(1.0 - d_o / d_e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_is_one() {
+        let items = vec![vec![0, 0, 0], vec![1, 1, 1], vec![2, 2]];
+        let a = krippendorff_alpha(&items, 3).unwrap();
+        assert!((a - 1.0).abs() < 1e-9, "alpha {a}");
+    }
+
+    #[test]
+    fn handles_missing_ratings() {
+        // Same data, one item has only two raters — Fleiss would reject.
+        let items = vec![vec![0, 0, 0], vec![1, 1], vec![0, 0, 1]];
+        let a = krippendorff_alpha(&items, 2).unwrap();
+        assert!(a > 0.0 && a < 1.0, "alpha {a}");
+    }
+
+    #[test]
+    fn singleton_items_ignored() {
+        let with = vec![vec![0, 0], vec![1, 1], vec![0]];
+        let without = vec![vec![0, 0], vec![1, 1]];
+        assert_eq!(
+            krippendorff_alpha(&with, 2).unwrap(),
+            krippendorff_alpha(&without, 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn chance_level_agreement_near_zero() {
+        // Construct systematic disagreement: every pairable item has one
+        // of each category → observed agreement 0 → alpha < 0.
+        let items = vec![vec![0, 1]; 20];
+        let a = krippendorff_alpha(&items, 2).unwrap();
+        assert!(a < 0.0, "alpha {a}");
+    }
+
+    #[test]
+    fn known_krippendorff_example() {
+        // Krippendorff (2011) nominal example (values a..e mapped to 0..4):
+        // units with ratings from up to 4 observers; published α ≈ 0.743.
+        let items: Vec<Vec<usize>> = vec![
+            vec![0, 0, 0],       // unit 2: a,a,a
+            vec![1, 1, 1],       // unit 3: b,b,b
+            vec![1, 1, 1],       // unit 4: b,b,b
+            vec![1, 1, 1],       // unit 5: b,b,b
+            vec![1, 1, 1],       // unit 6: b,b,b
+            vec![2, 2, 2],       // ...
+            vec![3, 3, 3],
+            vec![0, 0, 1],       // one disagreement
+            vec![1, 1, 1],
+            vec![4, 4, 4],
+            vec![0, 0, 0],
+            vec![2, 2, 2],
+        ];
+        let a = krippendorff_alpha(&items, 5).unwrap();
+        assert!(a > 0.9, "high-agreement synthetic example: {a}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(krippendorff_alpha(&[], 3).is_err());
+        assert!(krippendorff_alpha(&[vec![0]], 3).is_err());
+        assert!(krippendorff_alpha(&[vec![0, 5]], 3).is_err());
+        assert!(krippendorff_alpha(&[vec![0, 0]], 1).is_err());
+    }
+
+    #[test]
+    fn degenerate_single_category_is_one() {
+        let items = vec![vec![0, 0, 0]; 5];
+        assert_eq!(krippendorff_alpha(&items, 2).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Bootstrap confidence intervals for classification metrics.
+//!
+//! The paper reports single-run numbers; for honest paper-vs-measured
+//! comparisons on small test sets (126 users at paper scale) EXPERIMENTS.md
+//! quotes percentile-bootstrap intervals computed here: resample the
+//! (truth, prediction) pairs with replacement `B` times and take the
+//! empirical quantiles of the metric distribution.
+
+use serde::{Deserialize, Serialize};
+
+use crate::confusion::ConfusionMatrix;
+use rsd_common::rng::stream_rng;
+use rsd_common::{Result, RsdError};
+use rand::Rng;
+
+/// A percentile-bootstrap interval for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapInterval {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+impl BootstrapInterval {
+    /// True when another point estimate lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lo..=self.hi).contains(&value)
+    }
+}
+
+/// Bootstrap accuracy and macro-F1 for paired labels.
+///
+/// Returns `(accuracy, macro_f1)` intervals at `level` confidence using
+/// `b` resamples.
+pub fn bootstrap_metrics(
+    n_classes: usize,
+    truth: &[usize],
+    pred: &[usize],
+    b: usize,
+    level: f64,
+    seed: u64,
+) -> Result<(BootstrapInterval, BootstrapInterval)> {
+    if truth.len() != pred.len() {
+        return Err(RsdError::data("bootstrap: length mismatch"));
+    }
+    if truth.is_empty() {
+        return Err(RsdError::data("bootstrap: empty sample"));
+    }
+    if b < 10 {
+        return Err(RsdError::config("b", "need at least 10 resamples"));
+    }
+    if !(0.5..1.0).contains(&level) {
+        return Err(RsdError::config("level", "must be in [0.5, 1)"));
+    }
+
+    let full = ConfusionMatrix::from_labels(n_classes, truth, pred)?;
+    let n = truth.len();
+    let mut rng = stream_rng(seed, "eval.bootstrap");
+    let mut accs = Vec::with_capacity(b);
+    let mut f1s = Vec::with_capacity(b);
+    for _ in 0..b {
+        let mut m = ConfusionMatrix::new(n_classes);
+        for _ in 0..n {
+            let i = rng.gen_range(0..n);
+            m.record(truth[i], pred[i])?;
+        }
+        accs.push(m.accuracy());
+        f1s.push(m.macro_f1());
+    }
+
+    let make = |mut samples: Vec<f64>, estimate: f64| {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
+        let alpha = (1.0 - level) / 2.0;
+        let lo_idx = ((samples.len() as f64) * alpha).floor() as usize;
+        let hi_idx =
+            (((samples.len() as f64) * (1.0 - alpha)).ceil() as usize).min(samples.len() - 1);
+        BootstrapInterval {
+            estimate,
+            lo: samples[lo_idx],
+            hi: samples[hi_idx],
+            level,
+        }
+    };
+    Ok((
+        make(accs, full.accuracy()),
+        make(f1s, full.macro_f1()),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_point_estimate() {
+        let truth: Vec<usize> = (0..200).map(|i| i % 4).collect();
+        let pred: Vec<usize> = truth
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| if i % 5 == 0 { (t + 1) % 4 } else { t })
+            .collect();
+        let (acc, f1) = bootstrap_metrics(4, &truth, &pred, 200, 0.95, 1).unwrap();
+        assert!(acc.lo <= acc.estimate && acc.estimate <= acc.hi);
+        assert!(f1.lo <= f1.estimate && f1.estimate <= f1.hi);
+        assert!((acc.estimate - 0.8).abs() < 1e-9);
+        assert!(acc.contains(0.8));
+    }
+
+    #[test]
+    fn wider_for_smaller_samples() {
+        let make = |n: usize| {
+            let truth: Vec<usize> = (0..n).map(|i| i % 2).collect();
+            let pred: Vec<usize> = truth
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| if i % 4 == 0 { 1 - t } else { t })
+                .collect();
+            let (acc, _) = bootstrap_metrics(2, &truth, &pred, 300, 0.95, 2).unwrap();
+            acc.hi - acc.lo
+        };
+        assert!(make(40) > make(400), "small samples → wider intervals");
+    }
+
+    #[test]
+    fn perfect_predictions_are_degenerate() {
+        let truth: Vec<usize> = (0..50).map(|i| i % 3).collect();
+        let (acc, f1) = bootstrap_metrics(3, &truth, &truth, 100, 0.9, 3).unwrap();
+        assert_eq!(acc.estimate, 1.0);
+        assert_eq!(acc.lo, 1.0);
+        assert_eq!(f1.hi, 1.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(bootstrap_metrics(2, &[0], &[0, 1], 100, 0.95, 0).is_err());
+        assert!(bootstrap_metrics(2, &[], &[], 100, 0.95, 0).is_err());
+        assert!(bootstrap_metrics(2, &[0], &[0], 5, 0.95, 0).is_err());
+        assert!(bootstrap_metrics(2, &[0], &[0], 100, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let truth: Vec<usize> = (0..80).map(|i| i % 4).collect();
+        let pred: Vec<usize> = (0..80).map(|i| (i + 1) % 4).collect();
+        let a = bootstrap_metrics(4, &truth, &pred, 100, 0.95, 9).unwrap();
+        let b = bootstrap_metrics(4, &truth, &pred, 100, 0.95, 9).unwrap();
+        assert_eq!(a.0, b.0);
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Multi-level feature engineering for the XGBoost baseline
+//! (paper §III-A1).
+//!
+//! "It covers three dimensions: time, text, and sequence. In the time
+//! dimension, we analyze the temporal patterns of user posts ...; in the
+//! text dimension, we combine TF-IDF vectorization, text statistical
+//! features, and linguistic features; in the sequence dimension, we
+//! extract time series statistics, change trends, and historical
+//! cumulative features based on the historical post sliding window."
+//!
+//! Every feature carries a name and a [`FeatureDimension`] tag so the
+//! importance analysis can aggregate gain per dimension and reproduce the
+//! paper's finding that temporal features dominate.
+
+pub mod extractor;
+pub mod sequence;
+pub mod text;
+pub mod time;
+
+pub use extractor::{FeatureDimension, FeatureExtractor};

@@ -1,0 +1,109 @@
+//! Sequence-dimension features: sliding-window trends and historical
+//! cumulative statistics over the user's post sequence.
+
+use rsd_common::stats::linear_trend;
+use rsd_text::relevance::theme_hits;
+use rsd_text::tokenize::{token_count, tokenize};
+
+/// Names of the sequence features, in output order.
+pub const SEQUENCE_FEATURE_NAMES: &[&str] = &[
+    "seq.window_size",
+    "seq.total_posts",
+    "seq.len_trend",
+    "seq.theme_trend",
+    "seq.last_jaccard",
+    "seq.escalation_steps",
+];
+
+/// Extract sequence features.
+///
+/// * `texts` — the window's cleaned texts, chronological.
+/// * `total_posts` — the user's full history length (cumulative feature).
+pub fn sequence_features(texts: &[&str], total_posts: usize) -> Vec<f32> {
+    let lens: Vec<f64> = texts.iter().map(|t| token_count(t) as f64).collect();
+    let hits: Vec<f64> = texts.iter().map(|t| theme_hits(t) as f64).collect();
+
+    // Token-overlap similarity between the last two posts.
+    let last_jaccard = if texts.len() >= 2 {
+        jaccard(texts[texts.len() - 2], texts[texts.len() - 1])
+    } else {
+        0.0
+    };
+
+    // Number of consecutive increases in theme-hit counts — a cheap proxy
+    // for escalating risk language across the window.
+    let escalation_steps = hits.windows(2).filter(|w| w[1] > w[0]).count() as f64;
+
+    vec![
+        texts.len() as f32,
+        total_posts as f32,
+        linear_trend(&lens) as f32,
+        linear_trend(&hits) as f32,
+        last_jaccard as f32,
+        escalation_steps as f32,
+    ]
+}
+
+/// Token-set Jaccard similarity of two cleaned texts.
+fn jaccard(a: &str, b: &str) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<&str> = tokenize(a).into_iter().collect();
+    let sb: HashSet<&str> = tokenize(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_count_matches_names() {
+        assert_eq!(
+            sequence_features(&["a"], 3).len(),
+            SEQUENCE_FEATURE_NAMES.len()
+        );
+    }
+
+    #[test]
+    fn window_and_totals() {
+        let f = sequence_features(&["a", "b c"], 12);
+        assert_eq!(f[0], 2.0);
+        assert_eq!(f[1], 12.0);
+    }
+
+    #[test]
+    fn trends_detect_growth() {
+        let f = sequence_features(&["a", "a b", "a b c"], 3);
+        assert!(f[2] > 0.0, "length trend must be positive");
+    }
+
+    #[test]
+    fn escalation_counts_theme_increases() {
+        let f = sequence_features(
+            &["nothing here", "i want to die", "i want to die and end it"],
+            3,
+        );
+        assert!(f[5] >= 2.0, "two escalation steps, got {}", f[5]);
+    }
+
+    #[test]
+    fn jaccard_of_identical_posts_is_one() {
+        let f = sequence_features(&["i want to die", "i want to die"], 2);
+        assert!((f[4] - 1.0).abs() < 1e-6);
+        let f = sequence_features(&["alpha beta", "gamma delta"], 2);
+        assert_eq!(f[4], 0.0);
+    }
+
+    #[test]
+    fn single_post_defaults() {
+        let f = sequence_features(&["hello world"], 1);
+        assert_eq!(f[4], 0.0);
+        assert_eq!(f[5], 0.0);
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+}

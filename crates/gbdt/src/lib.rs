@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Gradient-boosted decision trees (the paper's XGBoost baseline).
+//!
+//! A histogram-based GBDT with the XGBoost objective: second-order
+//! gradient statistics, L2-regularized leaf weights, minimum-gain and
+//! minimum-child-weight pre-pruning, shrinkage, row/column subsampling,
+//! and a softmax multi-class mode that fits one tree per class per round.
+//! Gain-based feature importance reproduces the paper's §III-A1 analysis
+//! ("time dimension features contribute most significantly").
+//!
+//! * [`data`] — the binned feature matrix (quantile-sketch binning, 256
+//!   bins, XGBoost's `hist` tree method).
+//! * [`tree`] — single regression trees grown greedily on histograms.
+//! * [`booster`] — the boosting loop with the multi-class softmax
+//!   objective, early stopping on a validation set, and importance.
+
+pub mod booster;
+pub mod data;
+pub mod tree;
+
+pub use booster::{Booster, BoosterConfig};
+pub use data::BinnedMatrix;
+pub use tree::Tree;

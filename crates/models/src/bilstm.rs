@@ -1,0 +1,221 @@
+//! The BiLSTM baseline (paper §III-A2): a time-aware bidirectional LSTM.
+//!
+//! Faithful to the paper's structure: multi-dimensional time encodings are
+//! projected into embedding space and fused with the token representation
+//! through a multi-head attention layer *before* the BiLSTM ("this
+//! mechanism integrates temporal features and text representation before
+//! BiLSTM"), then a bidirectional LSTM reads the fused sequence and a
+//! linear head classifies the mean-pooled states.
+
+use rand::rngs::StdRng;
+
+use crate::encoding::{EncodedWindow, TaskEncoder, TIME_FEATURE_DIM};
+use crate::trainer::{
+    augment_train_windows, evaluate, outcome_from_confusion, train_classifier, BenchData,
+    EvalOutcome, TrainConfig,
+};
+use rsd_common::rng::stream_rng;
+use rsd_common::Result;
+use rsd_corpus::RiskLevel;
+use rsd_nn::attention::MultiHeadAttention;
+use rsd_nn::layers::{Embedding, Linear};
+use rsd_nn::matrix::Matrix;
+use rsd_nn::rnn::Lstm;
+use rsd_nn::{ParamStore, Tape, Var};
+
+/// BiLSTM baseline hyperparameters.
+#[derive(Debug, Clone)]
+pub struct BiLstmConfig {
+    /// Vocabulary cap.
+    pub max_vocab: usize,
+    /// Token cap per post (incl. `[CLS]`).
+    pub max_tokens: usize,
+    /// Embedding width.
+    pub emb_dim: usize,
+    /// Total token cap for the concatenated window stream (same input
+    /// contract as the PLM baselines; LSTMs must carry it recurrently).
+    pub window_tokens: usize,
+    /// LSTM hidden width (per direction).
+    pub hidden: usize,
+    /// Fusion attention heads.
+    pub heads: usize,
+    /// Training loop settings.
+    pub train: TrainConfig,
+}
+
+impl Default for BiLstmConfig {
+    fn default() -> Self {
+        BiLstmConfig {
+            max_vocab: 2_000,
+            max_tokens: 56,
+            window_tokens: 96,
+            emb_dim: 32,
+            hidden: 32,
+            heads: 2,
+            train: TrainConfig {
+                epochs: 6,
+                lr: 2e-3,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+struct BiLstmModel {
+    emb: Embedding,
+    time_proj: Linear,
+    fusion: MultiHeadAttention,
+    lstm: Lstm,
+    head: Linear,
+    window_tokens: usize,
+}
+
+impl BiLstmModel {
+    fn new(store: &mut ParamStore, cfg: &BiLstmConfig, vocab: usize, rng: &mut StdRng) -> Self {
+        BiLstmModel {
+            emb: Embedding::new(store, "bilstm.emb", vocab, cfg.emb_dim, rng),
+            time_proj: Linear::new(
+                store,
+                "bilstm.time_proj",
+                TIME_FEATURE_DIM,
+                cfg.emb_dim,
+                rng,
+            ),
+            fusion: MultiHeadAttention::new(store, "bilstm.fusion", cfg.emb_dim, cfg.heads, rng),
+            lstm: Lstm::new(store, "bilstm.lstm", cfg.emb_dim, cfg.hidden, rng),
+            head: Linear::new(store, "bilstm.head", 2 * cfg.hidden, RiskLevel::COUNT, rng),
+            window_tokens: cfg.window_tokens,
+        }
+    }
+
+    /// Forward: window time rows + latest-post tokens → logits (1×4).
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        example: &EncodedWindow,
+    ) -> Var {
+        // Temporal rows: one per post in the window.
+        let w = example.time_feats.len();
+        let time_data: Vec<f32> = example
+            .time_feats
+            .iter()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        let time_raw = tape.constant(Matrix::from_vec(w, TIME_FEATURE_DIM, time_data));
+        let time_rows = self.time_proj.forward(tape, store, time_raw);
+
+        // Token rows of the window stream (latest post first — the same
+        // input contract the PLM baselines get).
+        let ids = example.window_tokens(self.window_tokens);
+        let tokens = self.emb.forward(tape, store, &ids);
+
+        // Fuse: attention over [time; tokens], then BiLSTM over the fused
+        // sequence.
+        let combined = tape.concat_rows(&[time_rows, tokens]);
+        let fused = self.fusion.forward(tape, store, combined);
+        let residual = tape.add(combined, fused);
+
+        let fwd = self.lstm.run(tape, store, residual, false);
+        let bwd = self.lstm.run(tape, store, residual, true);
+        let states = tape.concat_cols(&[fwd, bwd]);
+        let pooled = tape.mean_rows(states);
+        self.head.forward(tape, store, pooled)
+    }
+}
+
+/// The runnable baseline.
+pub struct BiLstmBaseline {
+    cfg: BiLstmConfig,
+}
+
+impl BiLstmBaseline {
+    /// Create with configuration.
+    pub fn new(cfg: BiLstmConfig) -> Self {
+        BiLstmBaseline { cfg }
+    }
+
+    /// Train on the bench data and evaluate on its test split.
+    pub fn run(&self, data: &BenchData<'_>) -> Result<EvalOutcome> {
+        let cfg = &self.cfg;
+        let encoder = TaskEncoder::fit(
+            data.dataset,
+            &data.splits.train,
+            cfg.max_vocab,
+            cfg.max_tokens,
+        );
+        let train_windows = augment_train_windows(
+            data.dataset,
+            &data.splits.train,
+            data.splits.config.window,
+            cfg.train.post_level_cap,
+        );
+        let train = encoder.encode_all(data.dataset, &train_windows);
+        let valid = encoder.encode_all(data.dataset, &data.splits.valid);
+        let test = encoder.encode_all(data.dataset, &data.splits.test);
+
+        let mut rng = stream_rng(data.seed, "bilstm.init");
+        let mut store = ParamStore::new();
+        let model = BiLstmModel::new(&mut store, cfg, encoder.vocab.len(), &mut rng);
+
+        let forward = |tape: &mut Tape,
+                       store: &ParamStore,
+                       ex: &EncodedWindow,
+                       _rng: &mut StdRng| model.forward(tape, store, ex);
+        let history =
+            train_classifier(&mut store, &forward, &train, &valid, &cfg.train, data.seed)?;
+
+        let mut eval_rng = stream_rng(data.seed, "bilstm.eval");
+        let confusion = evaluate(&store, &forward, &test, &mut eval_rng)?;
+        let extra = vec![
+            ("epochs_run".to_string(), history.len().to_string()),
+            (
+                "best_valid_macro_f1".to_string(),
+                format!(
+                    "{:.4}",
+                    history.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                ),
+            ),
+            ("params".to_string(), store.n_scalars().to_string()),
+        ];
+        Ok(outcome_from_confusion("BiLSTM", confusion, extra))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsd_dataset::{BuildConfig, DatasetBuilder, DatasetSplits, SplitConfig};
+
+    #[test]
+    fn trains_and_evaluates_on_tiny_data() {
+        let (dataset, _) = DatasetBuilder::new(BuildConfig::scaled(801, 1_200, 24))
+            .build()
+            .unwrap();
+        let splits = DatasetSplits::new(&dataset, SplitConfig::default()).unwrap();
+        let data = BenchData {
+            dataset: &dataset,
+            splits: &splits,
+            unlabeled: &[],
+            seed: 801,
+        };
+        let cfg = BiLstmConfig {
+            max_vocab: 300,
+            max_tokens: 12,
+            window_tokens: 20,
+            emb_dim: 8,
+            hidden: 8,
+            heads: 2,
+            train: TrainConfig {
+                epochs: 2,
+                batch: 8,
+                patience: 0,
+                ..Default::default()
+            },
+        };
+        let outcome = BiLstmBaseline::new(cfg).run(&data).unwrap();
+        assert_eq!(outcome.report.model, "BiLSTM");
+        assert_eq!(outcome.confusion.total() as usize, splits.test.len());
+        assert!(outcome.report.accuracy >= 0.0);
+    }
+}

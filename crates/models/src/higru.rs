@@ -1,0 +1,232 @@
+//! The HiGRU baseline (paper §III-A3): hierarchical GRU.
+//!
+//! Two levels, as in the paper: a token-level bidirectional GRU encodes
+//! each post (with residual connection and layer normalization on the
+//! pooled representation), and a post-level GRU models the user's posting
+//! sequence with time encodings added per post. A time-aware attention
+//! over the post-level states produces the classification context.
+
+use rand::rngs::StdRng;
+
+use crate::encoding::{EncodedWindow, TaskEncoder, TIME_FEATURE_DIM};
+use crate::trainer::{
+    augment_train_windows, evaluate, outcome_from_confusion, train_classifier, BenchData,
+    EvalOutcome, TrainConfig,
+};
+use rsd_common::rng::stream_rng;
+use rsd_common::Result;
+use rsd_corpus::RiskLevel;
+use rsd_nn::attention::MultiHeadAttention;
+use rsd_nn::layers::{Embedding, LayerNorm, Linear};
+use rsd_nn::matrix::Matrix;
+use rsd_nn::rnn::Gru;
+use rsd_nn::{ParamStore, Tape, Var};
+
+/// HiGRU hyperparameters.
+#[derive(Debug, Clone)]
+pub struct HiGruConfig {
+    /// Vocabulary cap.
+    pub max_vocab: usize,
+    /// Token cap per post.
+    pub max_tokens: usize,
+    /// Embedding width.
+    pub emb_dim: usize,
+    /// Token-level GRU hidden width (per direction).
+    pub token_hidden: usize,
+    /// Post-level GRU hidden width.
+    pub post_hidden: usize,
+    /// Attention heads for the time-aware attention.
+    pub heads: usize,
+    /// Training loop settings.
+    pub train: TrainConfig,
+}
+
+impl Default for HiGruConfig {
+    fn default() -> Self {
+        HiGruConfig {
+            max_vocab: 2_000,
+            max_tokens: 48,
+            emb_dim: 32,
+            token_hidden: 24,
+            post_hidden: 48,
+            heads: 2,
+            train: TrainConfig {
+                epochs: 6,
+                lr: 2e-3,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+struct HiGruModel {
+    emb: Embedding,
+    token_gru: Gru,
+    token_ln: LayerNorm,
+    token_residual: Linear,
+    time_proj: Linear,
+    post_gru: Gru,
+    attention: MultiHeadAttention,
+    head: Linear,
+    post_dim: usize,
+}
+
+impl HiGruModel {
+    fn new(store: &mut ParamStore, cfg: &HiGruConfig, vocab: usize, rng: &mut StdRng) -> Self {
+        let post_dim = 2 * cfg.token_hidden;
+        HiGruModel {
+            emb: Embedding::new(store, "higru.emb", vocab, cfg.emb_dim, rng),
+            token_gru: Gru::new(store, "higru.token_gru", cfg.emb_dim, cfg.token_hidden, rng),
+            token_ln: LayerNorm::new(store, "higru.token_ln", post_dim),
+            token_residual: Linear::new(store, "higru.token_res", cfg.emb_dim, post_dim, rng),
+            time_proj: Linear::new(store, "higru.time_proj", TIME_FEATURE_DIM, post_dim, rng),
+            post_gru: Gru::new(store, "higru.post_gru", post_dim, cfg.post_hidden, rng),
+            attention: MultiHeadAttention::new(
+                store,
+                "higru.attn",
+                cfg.post_hidden,
+                cfg.heads,
+                rng,
+            ),
+            head: Linear::new(store, "higru.head", 2 * cfg.post_hidden, RiskLevel::COUNT, rng),
+            post_dim,
+        }
+    }
+
+    /// Encode one post: bidirectional token GRU, mean-pool, residual from
+    /// mean embedding, layer norm. Returns 1×post_dim.
+    fn encode_post(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        tokens: &[u32],
+    ) -> Var {
+        let embs = self.emb.forward(tape, store, tokens);
+        let fwd = self.token_gru.run(tape, store, embs, false);
+        let bwd = self.token_gru.run(tape, store, embs, true);
+        // Order-preserving summary: final forward state + final backward
+        // state (the state at row 0 of the reversed run).
+        let (n, _) = tape.shape(fwd);
+        let fwd_last = tape.select_row(fwd, n - 1);
+        let bwd_first = tape.select_row(bwd, 0);
+        let pooled = tape.concat_cols(&[fwd_last, bwd_first]);
+        // Residual from the bag-of-embeddings (projected), then LN — the
+        // paper's "residual connections and layer normalization mechanisms
+        // to improve training stability".
+        let bag = tape.mean_rows(embs);
+        let res = self.token_residual.forward(tape, store, bag);
+        let summed = tape.add(pooled, res);
+        self.token_ln.forward(tape, store, summed)
+    }
+
+    fn forward(&self, tape: &mut Tape, store: &ParamStore, example: &EncodedWindow) -> Var {
+        // Token level: one vector per post, plus projected time encoding.
+        let mut post_rows = Vec::with_capacity(example.post_tokens.len());
+        for (tokens, time) in example.post_tokens.iter().zip(&example.time_feats) {
+            let text_vec = self.encode_post(tape, store, tokens);
+            let t = tape.constant(Matrix::row_vec(time.to_vec()));
+            let t = self.time_proj.forward(tape, store, t);
+            post_rows.push(tape.add(text_vec, t));
+        }
+        let _ = self.post_dim;
+        let posts = tape.concat_rows(&post_rows);
+
+        // Post level: GRU over the sequence, time-aware attention over the
+        // resulting states.
+        let states = self.post_gru.run(tape, store, posts, false);
+        let attended = self.attention.forward(tape, store, states);
+        let (n_posts, _) = tape.shape(states);
+        let last_state = tape.select_row(states, n_posts - 1);
+        let ctx = tape.mean_rows(attended);
+        let both = tape.concat_cols(&[last_state, ctx]);
+        self.head.forward(tape, store, both)
+    }
+}
+
+/// The runnable baseline.
+pub struct HiGruBaseline {
+    cfg: HiGruConfig,
+}
+
+impl HiGruBaseline {
+    /// Create with configuration.
+    pub fn new(cfg: HiGruConfig) -> Self {
+        HiGruBaseline { cfg }
+    }
+
+    /// Train on the bench data and evaluate on its test split.
+    pub fn run(&self, data: &BenchData<'_>) -> Result<EvalOutcome> {
+        let cfg = &self.cfg;
+        let encoder = TaskEncoder::fit(
+            data.dataset,
+            &data.splits.train,
+            cfg.max_vocab,
+            cfg.max_tokens,
+        );
+        let train_windows = augment_train_windows(
+            data.dataset,
+            &data.splits.train,
+            data.splits.config.window,
+            cfg.train.post_level_cap,
+        );
+        let train = encoder.encode_all(data.dataset, &train_windows);
+        let valid = encoder.encode_all(data.dataset, &data.splits.valid);
+        let test = encoder.encode_all(data.dataset, &data.splits.test);
+
+        let mut rng = stream_rng(data.seed, "higru.init");
+        let mut store = ParamStore::new();
+        let model = HiGruModel::new(&mut store, cfg, encoder.vocab.len(), &mut rng);
+
+        let forward = |tape: &mut Tape,
+                       store: &ParamStore,
+                       ex: &EncodedWindow,
+                       _rng: &mut StdRng| model.forward(tape, store, ex);
+        let history =
+            train_classifier(&mut store, &forward, &train, &valid, &cfg.train, data.seed)?;
+
+        let mut eval_rng = stream_rng(data.seed, "higru.eval");
+        let confusion = evaluate(&store, &forward, &test, &mut eval_rng)?;
+        let extra = vec![
+            ("epochs_run".to_string(), history.len().to_string()),
+            ("params".to_string(), store.n_scalars().to_string()),
+        ];
+        Ok(outcome_from_confusion("HiGRU", confusion, extra))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsd_dataset::{BuildConfig, DatasetBuilder, DatasetSplits, SplitConfig};
+
+    #[test]
+    fn trains_and_evaluates_on_tiny_data() {
+        let (dataset, _) = DatasetBuilder::new(BuildConfig::scaled(802, 1_200, 24))
+            .build()
+            .unwrap();
+        let splits = DatasetSplits::new(&dataset, SplitConfig::default()).unwrap();
+        let data = BenchData {
+            dataset: &dataset,
+            splits: &splits,
+            unlabeled: &[],
+            seed: 802,
+        };
+        let cfg = HiGruConfig {
+            max_vocab: 300,
+            max_tokens: 10,
+            emb_dim: 8,
+            token_hidden: 4,
+            post_hidden: 8,
+            heads: 2,
+            train: TrainConfig {
+                epochs: 2,
+                batch: 8,
+                patience: 0,
+                ..Default::default()
+            },
+        };
+        let outcome = HiGruBaseline::new(cfg).run(&data).unwrap();
+        assert_eq!(outcome.report.model, "HiGRU");
+        assert_eq!(outcome.confusion.total() as usize, splits.test.len());
+    }
+}

@@ -1,0 +1,306 @@
+//! Multi-head self-attention: absolute (RoBERTa-style) and disentangled
+//! content/position (DeBERTa-style) variants.
+//!
+//! Both operate on a single sequence (seq_len × dim) and split heads by
+//! column ranges. The disentangled variant implements the DeBERTa scoring
+//! decomposition
+//!
+//! ```text
+//! score(i,j) = Qc_i·Kc_j  +  Qc_i·Kr_{δ(i,j)}  +  Kc_j·Qr_{δ(j,i)}
+//! ```
+//!
+//! with `δ` the clamped relative offset and `Kr`/`Qr` projections of a
+//! learned relative-position embedding table — the paper's "debiased
+//! attention mechanism and relative position encoding" (§III-A5).
+
+use rand::rngs::StdRng;
+
+use crate::layers::{Embedding, Linear};
+use crate::params::ParamStore;
+use crate::tape::{Tape, Var};
+
+/// Standard multi-head self-attention with absolute positions handled by
+/// the caller's position embeddings.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    /// Query projection.
+    pub wq: Linear,
+    /// Key projection.
+    pub wk: Linear,
+    /// Value projection.
+    pub wv: Linear,
+    /// Output projection.
+    pub wo: Linear,
+    /// Number of heads.
+    pub n_heads: usize,
+    /// Model width.
+    pub dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Register an attention block. `dim` must be divisible by `n_heads`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        n_heads: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert_eq!(dim % n_heads, 0, "dim must divide by heads");
+        MultiHeadAttention {
+            wq: Linear::new(store, &format!("{name}.wq"), dim, dim, rng),
+            wk: Linear::new(store, &format!("{name}.wk"), dim, dim, rng),
+            wv: Linear::new(store, &format!("{name}.wv"), dim, dim, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), dim, dim, rng),
+            n_heads,
+            dim,
+        }
+    }
+
+    /// Self-attention over `x` (seq×dim).
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let head_dim = self.dim / self.n_heads;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let q = self.wq.forward(tape, store, x);
+        let k = self.wk.forward(tape, store, x);
+        let v = self.wv.forward(tape, store, x);
+
+        let mut heads = Vec::with_capacity(self.n_heads);
+        for h in 0..self.n_heads {
+            let start = h * head_dim;
+            let qh = tape.narrow_cols(q, start, head_dim);
+            let kh = tape.narrow_cols(k, start, head_dim);
+            let vh = tape.narrow_cols(v, start, head_dim);
+            let kt = tape.transpose(kh);
+            let scores = tape.matmul(qh, kt);
+            let scaled = tape.scale(scores, scale);
+            let attn = tape.softmax_rows(scaled);
+            heads.push(tape.matmul(attn, vh));
+        }
+        let ctx = tape.concat_cols(&heads);
+        self.wo.forward(tape, store, ctx)
+    }
+}
+
+/// DeBERTa-style disentangled attention with relative position embeddings.
+#[derive(Debug, Clone)]
+pub struct DisentangledAttention {
+    /// Content query projection.
+    pub wq: Linear,
+    /// Content key projection.
+    pub wk: Linear,
+    /// Value projection.
+    pub wv: Linear,
+    /// Output projection.
+    pub wo: Linear,
+    /// Relative-position embedding table ((2·radius+1) × dim).
+    pub rel: Embedding,
+    /// Maximum relative distance.
+    pub radius: usize,
+    /// Number of heads.
+    pub n_heads: usize,
+    /// Model width.
+    pub dim: usize,
+}
+
+impl DisentangledAttention {
+    /// Register a disentangled attention block.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        n_heads: usize,
+        radius: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert_eq!(dim % n_heads, 0, "dim must divide by heads");
+        DisentangledAttention {
+            wq: Linear::new(store, &format!("{name}.wq"), dim, dim, rng),
+            wk: Linear::new(store, &format!("{name}.wk"), dim, dim, rng),
+            wv: Linear::new(store, &format!("{name}.wv"), dim, dim, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), dim, dim, rng),
+            rel: Embedding::new(store, &format!("{name}.rel"), 2 * radius + 1, dim, rng),
+            radius,
+            n_heads,
+            dim,
+        }
+    }
+
+    /// Disentangled self-attention over `x` (seq×dim).
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let head_dim = self.dim / self.n_heads;
+        // DeBERTa scales by √(3d) since three score terms are summed.
+        let scale = 1.0 / (3.0 * head_dim as f32).sqrt();
+        let (seq_len, _) = tape.shape(x);
+
+        let q = self.wq.forward(tape, store, x);
+        let k = self.wk.forward(tape, store, x);
+        let v = self.wv.forward(tape, store, x);
+
+        // Project the relative table through the content projections
+        // (DeBERTa shares projections between content and position).
+        let all_rel: Vec<u32> = (0..(2 * self.radius + 1) as u32).collect();
+        let rel_rows = self.rel.forward(tape, store, &all_rel);
+        let qr = self.wq.forward(tape, store, rel_rows);
+        let kr = self.wk.forward(tape, store, rel_rows);
+
+        let mut heads = Vec::with_capacity(self.n_heads);
+        for h in 0..self.n_heads {
+            let start = h * head_dim;
+            let qh = tape.narrow_cols(q, start, head_dim);
+            let kh = tape.narrow_cols(k, start, head_dim);
+            let vh = tape.narrow_cols(v, start, head_dim);
+            let qrh = tape.narrow_cols(qr, start, head_dim);
+            let krh = tape.narrow_cols(kr, start, head_dim);
+
+            // Content-to-content.
+            let kt = tape.transpose(kh);
+            let c2c = tape.matmul(qh, kt);
+
+            // Content-to-position: Qc @ Krᵀ gathered by relative offset.
+            let krt = tape.transpose(krh);
+            let c2p_full = tape.matmul(qh, krt); // seq × (2r+1)
+            let c2p = tape.relative_gather(c2p_full, seq_len, self.radius, false);
+
+            // Position-to-content: Kc @ Qrᵀ gathered (transposed flavour).
+            let qrt = tape.transpose(qrh);
+            let p2c_full = tape.matmul(kh, qrt); // seq × (2r+1)
+            let p2c = tape.relative_gather(p2c_full, seq_len, self.radius, true);
+
+            let sum1 = tape.add(c2c, c2p);
+            let scores = tape.add(sum1, p2c);
+            let scaled = tape.scale(scores, scale);
+            let attn = tape.softmax_rows(scaled);
+            heads.push(tape.matmul(attn, vh));
+        }
+        let ctx = tape.concat_cols(&heads);
+        self.wo.forward(tape, store, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use rand::SeedableRng;
+
+    fn input(seq: usize, dim: usize) -> Matrix {
+        Matrix::from_vec(
+            seq,
+            dim,
+            (0..seq * dim).map(|i| ((i * 7 % 13) as f32) * 0.1 - 0.6).collect(),
+        )
+    }
+
+    #[test]
+    fn mha_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadAttention::new(&mut store, "a", 8, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(input(5, 8));
+        let y = attn.forward(&mut tape, &store, x);
+        assert_eq!(tape.shape(y), (5, 8));
+    }
+
+    #[test]
+    fn disentangled_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let attn = DisentangledAttention::new(&mut store, "d", 8, 2, 4, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(input(6, 8));
+        let y = attn.forward(&mut tape, &store, x);
+        assert_eq!(tape.shape(y), (6, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must divide")]
+    fn rejects_indivisible_heads() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        MultiHeadAttention::new(&mut store, "a", 9, 2, &mut rng);
+    }
+
+    #[test]
+    fn absolute_attention_is_permutation_blind_without_positions() {
+        // Plain self-attention is permutation-equivariant: permuting input
+        // rows permutes output rows identically. (This is exactly why
+        // positional information must be injected.)
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadAttention::new(&mut store, "a", 4, 1, &mut rng);
+        let x = input(3, 4);
+        let mut permuted = x.clone();
+        // Swap rows 0 and 2.
+        for c in 0..4 {
+            let tmp = permuted.get(0, c);
+            permuted.set(0, c, permuted.get(2, c));
+            permuted.set(2, c, tmp);
+        }
+        let run = |m: Matrix| {
+            let mut tape = Tape::inference();
+            let v = tape.constant(m);
+            let y = attn.forward(&mut tape, &store, v);
+            tape.value(y).clone()
+        };
+        let y1 = run(x);
+        let y2 = run(permuted);
+        for c in 0..4 {
+            assert!((y1.get(0, c) - y2.get(2, c)).abs() < 1e-5);
+            assert!((y1.get(1, c) - y2.get(1, c)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn disentangled_attention_is_position_sensitive() {
+        // The disentangled variant embeds relative positions directly in
+        // the scores, so permutation equivariance must break.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let attn = DisentangledAttention::new(&mut store, "d", 4, 1, 3, &mut rng);
+        let x = input(3, 4);
+        let mut permuted = x.clone();
+        for c in 0..4 {
+            let tmp = permuted.get(0, c);
+            permuted.set(0, c, permuted.get(2, c));
+            permuted.set(2, c, tmp);
+        }
+        let run = |m: Matrix| {
+            let mut tape = Tape::inference();
+            let v = tape.constant(m);
+            let y = attn.forward(&mut tape, &store, v);
+            tape.value(y).clone()
+        };
+        let y1 = run(x);
+        let y2 = run(permuted);
+        let mut max_diff = 0.0f32;
+        for c in 0..4 {
+            max_diff = max_diff.max((y1.get(0, c) - y2.get(2, c)).abs());
+        }
+        assert!(
+            max_diff > 1e-4,
+            "relative positions must break permutation equivariance"
+        );
+    }
+
+    #[test]
+    fn attention_gradients_flow_to_all_projections() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let attn = DisentangledAttention::new(&mut store, "d", 8, 2, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(input(4, 8));
+        let y = attn.forward(&mut tape, &store, x);
+        let loss = tape.mean_rows(y);
+        tape.backward(loss);
+        tape.harvest_grads(&mut store);
+        for id in store.ids() {
+            assert!(
+                store.grad(id).frobenius() > 0.0,
+                "no gradient reached {}",
+                store.name(id)
+            );
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Parameter store: named parameter registration, gradient accumulation,
+//! and (de)serialization of model weights.
+//!
+//! Models register matrices once (getting a stable [`ParamId`]); every
+//! forward pass leafs them into the tape; [`ParamStore::accumulate`] sums
+//! per-example gradients; the optimizer consumes and clears them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rsd_common::RsdError;
+
+/// Stable handle to a registered parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// One registered parameter with its accumulated gradient.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamSlot {
+    /// Human-readable name ("encoder.0.attn.wq").
+    pub name: String,
+    /// Current weights.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape).
+    pub grad: Matrix,
+}
+
+/// The parameter store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    slots: Vec<ParamSlot>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter with explicit initial weights.
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let grad = Matrix::zeros(value.rows, value.cols);
+        self.slots.push(ParamSlot {
+            name: name.into(),
+            value,
+            grad,
+        });
+        ParamId(self.slots.len() - 1)
+    }
+
+    /// Register with Xavier/Glorot-uniform initialization.
+    pub fn register_xavier(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut StdRng,
+    ) -> ParamId {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        self.register(name, Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Register a zero-initialized parameter (biases).
+    pub fn register_zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.register(name, Matrix::zeros(rows, cols))
+    }
+
+    /// Register with small-normal initialization (embeddings).
+    pub fn register_normal(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        std: f32,
+        rng: &mut StdRng,
+    ) -> ParamId {
+        let data = (0..rows * cols)
+            .map(|_| {
+                // Box–Muller on f32.
+                let u1: f32 = rng.gen::<f32>().max(f32::MIN_POSITIVE);
+                let u2: f32 = rng.gen();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+            })
+            .collect();
+        self.register(name, Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Number of parameters registered.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn n_scalars(&self) -> usize {
+        self.slots.iter().map(|s| s.value.data.len()).sum()
+    }
+
+    /// Borrow a parameter's value.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.slots[id.0].value
+    }
+
+    /// Mutably borrow a parameter's value (optimizer use).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.slots[id.0].value
+    }
+
+    /// Borrow a parameter's accumulated gradient.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.slots[id.0].grad
+    }
+
+    /// Accumulate a gradient contribution.
+    pub fn accumulate(&mut self, id: ParamId, grad: &Matrix) {
+        self.slots[id.0].grad.axpy(1.0, grad);
+    }
+
+    /// Zero all gradients.
+    pub fn zero_grads(&mut self) {
+        for slot in &mut self.slots {
+            slot.grad.fill_zero();
+        }
+    }
+
+    /// Scale all gradients (e.g. 1/batch before the optimizer step).
+    pub fn scale_grads(&mut self, factor: f32) {
+        for slot in &mut self.slots {
+            for g in &mut slot.grad.data {
+                *g *= factor;
+            }
+        }
+    }
+
+    /// Global gradient-norm clipping; returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm: f32 = self
+            .slots
+            .iter()
+            .map(|s| s.grad.data.iter().map(|g| g * g).sum::<f32>())
+            .sum::<f32>()
+            .sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            self.scale_grads(scale);
+        }
+        norm
+    }
+
+    /// Iterate all ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.slots.len()).map(ParamId)
+    }
+
+    /// Name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.slots[id.0].name
+    }
+
+    /// Persist weights (names + values; gradients are not saved) to a JSON
+    /// checkpoint file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), RsdError> {
+        let file = std::fs::File::create(path)?;
+        let writer = std::io::BufWriter::new(file);
+        serde_json::to_writer(writer, self).map_err(|e| RsdError::Serde(e.to_string()))
+    }
+
+    /// Load a checkpoint saved by [`ParamStore::save`]. Gradients come back
+    /// zeroed.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<ParamStore, RsdError> {
+        let file = std::fs::File::open(path)?;
+        let reader = std::io::BufReader::new(file);
+        let mut store: ParamStore =
+            serde_json::from_reader(reader).map_err(|e| RsdError::Serde(e.to_string()))?;
+        for slot in &mut store.slots {
+            if !slot.grad.same_shape(&slot.value) {
+                return Err(RsdError::Serde(format!(
+                    "checkpoint corrupt: grad/value shape mismatch for {}",
+                    slot.name
+                )));
+            }
+            slot.grad.fill_zero();
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        assert_eq!(store.value(id).data, vec![1.0, 2.0]);
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.n_scalars(), 2);
+    }
+
+    #[test]
+    fn xavier_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let id = store.register_xavier("w", 10, 20, &mut rng);
+        let bound = (6.0f32 / 30.0).sqrt();
+        assert!(store.value(id).data.iter().all(|&x| x.abs() <= bound));
+        // Not all zero.
+        assert!(store.value(id).frobenius() > 0.0);
+    }
+
+    #[test]
+    fn normal_init_has_requested_spread() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let id = store.register_normal("e", 100, 50, 0.1, &mut rng);
+        let data = &store.value(id).data;
+        let mean: f32 = data.iter().sum::<f32>() / data.len() as f32;
+        let var: f32 = data.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / data.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn gradient_accumulation_and_clearing() {
+        let mut store = ParamStore::new();
+        let id = store.register_zeros("b", 1, 3);
+        store.accumulate(id, &Matrix::from_vec(1, 3, vec![1.0, 1.0, 1.0]));
+        store.accumulate(id, &Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        assert_eq!(store.grad(id).data, vec![2.0, 3.0, 4.0]);
+        store.scale_grads(0.5);
+        assert_eq!(store.grad(id).data, vec![1.0, 1.5, 2.0]);
+        store.zero_grads();
+        assert_eq!(store.grad(id).data, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_when_needed() {
+        let mut store = ParamStore::new();
+        let id = store.register_zeros("w", 1, 2);
+        store.accumulate(id, &Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let norm = store.clip_grad_norm(1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        assert!((store.grad(id).frobenius() - 1.0).abs() < 1e-6);
+        // Below the threshold: untouched.
+        let norm2 = store.clip_grad_norm(10.0);
+        assert!((norm2 - 1.0).abs() < 1e-6);
+        assert!((store.grad(id).frobenius() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn checkpoint_save_load_round_trip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let id = store.register_xavier("w", 4, 4, &mut rng);
+        store.accumulate(id, &Matrix::full(4, 4, 1.0));
+        let path = std::env::temp_dir().join("rsd_nn_ckpt_test.json");
+        store.save(&path).unwrap();
+        let back = ParamStore::load(&path).unwrap();
+        assert_eq!(back.value(id), store.value(id));
+        assert_eq!(back.grad(id).frobenius(), 0.0, "grads come back zeroed");
+        assert_eq!(back.name(id), "w");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("rsd_nn_ckpt_bad.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        assert!(ParamStore::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut store = ParamStore::new();
+        store.register("w", Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let json = serde_json::to_string(&store).unwrap();
+        let back: ParamStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.value(ParamId(0)).data, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,389 @@
+//! Recurrent cells: LSTM and GRU, plus (bi)directional sequence runners.
+//!
+//! Cells operate on single-sequence matrices (seq_len × dim): one tape node
+//! chain per time step. The BiLSTM baseline composes [`Lstm`] forward and
+//! backward; HiGRU stacks two [`Gru`] levels (token-level and post-level).
+
+use rand::rngs::StdRng;
+
+use crate::layers::Linear;
+use crate::params::ParamStore;
+use crate::tape::{Tape, Var};
+
+/// LSTM cell parameters (fused gate projection: `[i f g o]`).
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    /// Input projection (in → 4·hidden).
+    pub wx: Linear,
+    /// Recurrent projection (hidden → 4·hidden).
+    pub wh: Linear,
+    /// Hidden width.
+    pub hidden: usize,
+}
+
+impl Lstm {
+    /// Register an LSTM cell.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        Lstm {
+            wx: Linear::new(store, &format!("{name}.wx"), input, 4 * hidden, rng),
+            wh: Linear::new(store, &format!("{name}.wh"), hidden, 4 * hidden, rng),
+            hidden,
+        }
+    }
+
+    /// One step: `(h, c) → (h', c')` for an input row `x` (1×in).
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        h: Var,
+        c: Var,
+    ) -> (Var, Var) {
+        let gx = self.wx.forward(tape, store, x);
+        let gh = self.wh.forward(tape, store, h);
+        let gates = tape.add(gx, gh);
+        let hsz = self.hidden;
+        let i = tape.narrow_cols(gates, 0, hsz);
+        let f = tape.narrow_cols(gates, hsz, hsz);
+        let g = tape.narrow_cols(gates, 2 * hsz, hsz);
+        let o = tape.narrow_cols(gates, 3 * hsz, hsz);
+        let i = tape.sigmoid(i);
+        let f = tape.sigmoid(f);
+        let g = tape.tanh(g);
+        let o = tape.sigmoid(o);
+        let fc = tape.mul(f, c);
+        let ig = tape.mul(i, g);
+        let c_next = tape.add(fc, ig);
+        let tc = tape.tanh(c_next);
+        let h_next = tape.mul(o, tc);
+        (h_next, c_next)
+    }
+
+    /// Run over a sequence (seq×in), returning per-step hidden states
+    /// (seq×hidden). `reverse` processes the sequence back-to-front but
+    /// returns outputs in original order.
+    pub fn run(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        sequence: Var,
+        reverse: bool,
+    ) -> Var {
+        let (seq_len, _) = tape.shape(sequence);
+        let zeros = crate::matrix::Matrix::zeros(1, self.hidden);
+        let mut h = tape.constant(zeros.clone());
+        let mut c = tape.constant(zeros);
+        let mut outputs: Vec<Var> = vec![h; seq_len];
+        let order: Vec<usize> = if reverse {
+            (0..seq_len).rev().collect()
+        } else {
+            (0..seq_len).collect()
+        };
+        for t in order {
+            let x = tape.select_row(sequence, t);
+            let (h2, c2) = self.step(tape, store, x, h, c);
+            h = h2;
+            c = c2;
+            outputs[t] = h;
+        }
+        tape.concat_rows(&outputs)
+    }
+}
+
+/// GRU cell parameters (fused `[z r]` projections plus candidate).
+#[derive(Debug, Clone)]
+pub struct Gru {
+    /// Input projection for the update/reset gates (in → 2·hidden).
+    pub wx_zr: Linear,
+    /// Recurrent projection for the gates (hidden → 2·hidden).
+    pub wh_zr: Linear,
+    /// Input projection for the candidate (in → hidden).
+    pub wx_n: Linear,
+    /// Recurrent projection for the candidate (hidden → hidden).
+    pub wh_n: Linear,
+    /// Hidden width.
+    pub hidden: usize,
+}
+
+impl Gru {
+    /// Register a GRU cell.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        Gru {
+            wx_zr: Linear::new(store, &format!("{name}.wx_zr"), input, 2 * hidden, rng),
+            wh_zr: Linear::new(store, &format!("{name}.wh_zr"), hidden, 2 * hidden, rng),
+            wx_n: Linear::new(store, &format!("{name}.wx_n"), input, hidden, rng),
+            wh_n: Linear::new(store, &format!("{name}.wh_n"), hidden, hidden, rng),
+            hidden,
+        }
+    }
+
+    /// One step: `h → h'` for an input row `x` (1×in).
+    pub fn step(&self, tape: &mut Tape, store: &ParamStore, x: Var, h: Var) -> Var {
+        let gx = self.wx_zr.forward(tape, store, x);
+        let gh = self.wh_zr.forward(tape, store, h);
+        let gates = tape.add(gx, gh);
+        let hsz = self.hidden;
+        let z = tape.narrow_cols(gates, 0, hsz);
+        let r = tape.narrow_cols(gates, hsz, hsz);
+        let z = tape.sigmoid(z);
+        let r = tape.sigmoid(r);
+        let rh = tape.mul(r, h);
+        let nx = self.wx_n.forward(tape, store, x);
+        let nh = self.wh_n.forward(tape, store, rh);
+        let n_pre = tape.add(nx, nh);
+        let n = tape.tanh(n_pre);
+        // h' = (1 − z)·h + z·n = h − z·h + z·n
+        let zh = tape.mul(z, h);
+        let zn = tape.mul(z, n);
+        let neg_zh = tape.scale(zh, -1.0);
+        let partial = tape.add(h, neg_zh);
+        tape.add(partial, zn)
+    }
+
+    /// Run over a sequence (seq×in) → per-step hidden states (seq×hidden).
+    pub fn run(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        sequence: Var,
+        reverse: bool,
+    ) -> Var {
+        let (seq_len, _) = tape.shape(sequence);
+        let zeros = crate::matrix::Matrix::zeros(1, self.hidden);
+        let mut h = tape.constant(zeros);
+        let mut outputs: Vec<Var> = vec![h; seq_len];
+        let order: Vec<usize> = if reverse {
+            (0..seq_len).rev().collect()
+        } else {
+            (0..seq_len).collect()
+        };
+        for t in order {
+            let x = tape.select_row(sequence, t);
+            h = self.step(tape, store, x, h);
+            outputs[t] = h;
+        }
+        tape.concat_rows(&outputs)
+    }
+}
+
+/// Bidirectional wrapper: concat of forward and backward runs
+/// (seq×2·hidden).
+pub fn bidirectional<F>(tape: &mut Tape, run: F, sequence: Var) -> Var
+where
+    F: Fn(&mut Tape, Var, bool) -> Var,
+{
+    let fwd = run(tape, sequence, false);
+    let bwd = run(tape, sequence, true);
+    tape.concat_cols(&[fwd, bwd])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::optim::{Adam, Optimizer};
+    use rand::SeedableRng;
+
+    fn seq(data: Vec<f32>, dim: usize) -> Matrix {
+        let rows = data.len() / dim;
+        Matrix::from_vec(rows, dim, data)
+    }
+
+    #[test]
+    fn lstm_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, "l", 3, 5, &mut rng);
+        let mut tape = Tape::new();
+        let s = tape.constant(seq(vec![0.1; 12], 3));
+        let out = lstm.run(&mut tape, &store, s, false);
+        assert_eq!(tape.shape(out), (4, 5));
+    }
+
+    #[test]
+    fn gru_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "g", 3, 4, &mut rng);
+        let mut tape = Tape::new();
+        let s = tape.constant(seq(vec![0.1; 9], 3));
+        let out = gru.run(&mut tape, &store, s, false);
+        assert_eq!(tape.shape(out), (3, 4));
+    }
+
+    #[test]
+    fn bidirectional_doubles_width() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, "l", 2, 3, &mut rng);
+        let mut tape = Tape::new();
+        let s = tape.constant(seq(vec![0.5; 8], 2));
+        let out = bidirectional(
+            &mut tape,
+            |t, s, rev| lstm.run(t, &store, s, rev),
+            s,
+        );
+        assert_eq!(tape.shape(out), (4, 6));
+    }
+
+    #[test]
+    fn reverse_changes_state_order() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "g", 1, 3, &mut rng);
+        let mut tape = Tape::new();
+        let s = tape.constant(seq(vec![1.0, -1.0, 0.5], 1));
+        let fwd = gru.run(&mut tape, &store, s, false);
+        let bwd = gru.run(&mut tape, &store, s, true);
+        // Forward's first state only saw x0; backward's first state saw all.
+        assert_ne!(tape.value(fwd).row(0), tape.value(bwd).row(0));
+    }
+
+    /// Finite-difference check of d(sum of outputs)/d(input) through a
+    /// full recurrent run — catches any backward-pass error in the cell
+    /// compositions.
+    fn check_rnn_grad(run: impl Fn(&mut Tape, Var) -> Var, input: Matrix, tol: f32) {
+        let mut tape = Tape::new();
+        let x = tape.constant(input.clone());
+        let out = run(&mut tape, x);
+        tape.backward(out);
+        let analytic = tape.grad(x);
+
+        let eps = 1e-2f32;
+        let eval = |m: &Matrix| -> f32 {
+            let mut t = Tape::new();
+            let v = t.constant(m.clone());
+            let o = run(&mut t, v);
+            t.value(o).data.iter().sum()
+        };
+        for i in 0..input.data.len() {
+            let mut plus = input.clone();
+            plus.data[i] += eps;
+            let mut minus = input.clone();
+            minus.data[i] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let got = analytic.data[i];
+            assert!(
+                (numeric - got).abs() < tol * (1.0 + numeric.abs()),
+                "rnn grad mismatch at {i}: numeric {numeric}, analytic {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn lstm_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, "l", 2, 3, &mut rng);
+        let input = seq(vec![0.3, -0.5, 0.8, 0.1, -0.2, 0.6], 2);
+        check_rnn_grad(
+            move |tape, x| lstm.run(tape, &store, x, false),
+            input,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn gru_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "g", 2, 3, &mut rng);
+        let input = seq(vec![0.3, -0.5, 0.8, 0.1, -0.2, 0.6], 2);
+        check_rnn_grad(
+            move |tape, x| gru.run(tape, &store, x, true),
+            input,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn lstm_learns_sequence_order() {
+        // Task: classify whether the bigger input comes first.
+        // Sequences [1,0] → class 0, [0,1] → class 1. An order-blind model
+        // cannot separate these (identical bags).
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, "l", 1, 8, &mut rng);
+        let head = Linear::new(&mut store, "head", 8, 2, &mut rng);
+        let mut opt = Adam::new(0.02);
+        let data = [
+            (vec![1.0f32, 0.0], 0usize),
+            (vec![0.0, 1.0], 1),
+            (vec![0.9, 0.1], 0),
+            (vec![0.1, 0.9], 1),
+        ];
+        for _ in 0..150 {
+            for (x, y) in &data {
+                let mut tape = Tape::new();
+                let s = tape.constant(seq(x.clone(), 1));
+                let hs = lstm.run(&mut tape, &store, s, false);
+                let last = tape.select_row(hs, 1);
+                let logits = head.forward(&mut tape, &store, last);
+                let loss = tape.cross_entropy(logits, &[*y]);
+                tape.backward(loss);
+                tape.harvest_grads(&mut store);
+                opt.step(&mut store);
+            }
+        }
+        let mut correct = 0;
+        for (x, y) in &data {
+            let mut tape = Tape::inference();
+            let s = tape.constant(seq(x.clone(), 1));
+            let hs = lstm.run(&mut tape, &store, s, false);
+            let last = tape.select_row(hs, 1);
+            let logits = head.forward(&mut tape, &store, last);
+            let pred = crate::loss::argmax_rows(tape.value(logits))[0];
+            if pred == *y {
+                correct += 1;
+            }
+        }
+        assert_eq!(correct, 4, "LSTM must learn order discrimination");
+    }
+
+    #[test]
+    fn gru_learns_sequence_order() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "g", 1, 8, &mut rng);
+        let head = Linear::new(&mut store, "head", 8, 2, &mut rng);
+        let mut opt = Adam::new(0.02);
+        let data = [
+            (vec![1.0f32, 0.0], 0usize),
+            (vec![0.0, 1.0], 1),
+        ];
+        for _ in 0..200 {
+            for (x, y) in &data {
+                let mut tape = Tape::new();
+                let s = tape.constant(seq(x.clone(), 1));
+                let hs = gru.run(&mut tape, &store, s, false);
+                let last = tape.select_row(hs, 1);
+                let logits = head.forward(&mut tape, &store, last);
+                let loss = tape.cross_entropy(logits, &[*y]);
+                tape.backward(loss);
+                tape.harvest_grads(&mut store);
+                opt.step(&mut store);
+            }
+        }
+        for (x, y) in &data {
+            let mut tape = Tape::inference();
+            let s = tape.constant(seq(x.clone(), 1));
+            let hs = gru.run(&mut tape, &store, s, false);
+            let last = tape.select_row(hs, 1);
+            let logits = head.forward(&mut tape, &store, last);
+            assert_eq!(crate::loss::argmax_rows(tape.value(logits))[0], *y);
+        }
+    }
+}

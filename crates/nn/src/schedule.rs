@@ -1,0 +1,128 @@
+//! Learning-rate schedules.
+//!
+//! Transformer fine-tuning conventionally uses linear warmup followed by
+//! decay; the Table IV "full optimization" arm uses these. A schedule is a
+//! pure function `step → lr multiplier` applied on top of an optimizer's
+//! base rate.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Constant multiplier 1.
+    Constant,
+    /// Linear warmup over `warmup` steps, then linear decay to zero at
+    /// `total` steps.
+    WarmupLinear {
+        /// Warmup steps.
+        warmup: u64,
+        /// Total steps (decay reaches 0 here).
+        total: u64,
+    },
+    /// Linear warmup, then cosine decay to `floor` at `total`.
+    WarmupCosine {
+        /// Warmup steps.
+        warmup: u64,
+        /// Total steps.
+        total: u64,
+        /// Final multiplier in `[0, 1]`.
+        floor: f32,
+    },
+}
+
+impl Schedule {
+    /// Multiplier at `step` (0-based).
+    pub fn multiplier(&self, step: u64) -> f32 {
+        match *self {
+            Schedule::Constant => 1.0,
+            Schedule::WarmupLinear { warmup, total } => {
+                warmup_then(step, warmup, total, |progress| 1.0 - progress)
+            }
+            Schedule::WarmupCosine {
+                warmup,
+                total,
+                floor,
+            } => warmup_then(step, warmup, total, |progress| {
+                floor + (1.0 - floor) * 0.5 * (1.0 + (std::f32::consts::PI * progress).cos())
+            }),
+        }
+    }
+
+    /// Learning rate at `step` given a base rate.
+    pub fn lr_at(&self, base_lr: f32, step: u64) -> f32 {
+        base_lr * self.multiplier(step)
+    }
+}
+
+fn warmup_then(step: u64, warmup: u64, total: u64, decay: impl Fn(f32) -> f32) -> f32 {
+    if warmup > 0 && step < warmup {
+        return (step + 1) as f32 / warmup as f32;
+    }
+    if total <= warmup {
+        return 1.0;
+    }
+    let progress = ((step - warmup) as f32 / (total - warmup) as f32).clamp(0.0, 1.0);
+    decay(progress).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = Schedule::Constant;
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(10_000), 1.0);
+        assert_eq!(s.lr_at(0.01, 500), 0.01);
+    }
+
+    #[test]
+    fn warmup_ramps_then_decays() {
+        let s = Schedule::WarmupLinear {
+            warmup: 10,
+            total: 110,
+        };
+        assert!(s.multiplier(0) < s.multiplier(5));
+        assert!(s.multiplier(5) < s.multiplier(9));
+        assert!((s.multiplier(9) - 1.0).abs() < 1e-6);
+        // Midpoint of decay ≈ 0.5.
+        assert!((s.multiplier(60) - 0.5).abs() < 0.02);
+        // End reaches zero and stays there.
+        assert!(s.multiplier(110) < 1e-6);
+        assert!(s.multiplier(1_000) < 1e-6);
+    }
+
+    #[test]
+    fn cosine_respects_floor() {
+        let s = Schedule::WarmupCosine {
+            warmup: 5,
+            total: 105,
+            floor: 0.1,
+        };
+        assert!((s.multiplier(4) - 1.0).abs() < 1e-6);
+        assert!((s.multiplier(105) - 0.1).abs() < 1e-5);
+        // Monotone decreasing after warmup.
+        let mut prev = f32::INFINITY;
+        for step in (5..105).step_by(10) {
+            let m = s.multiplier(step);
+            assert!(m <= prev + 1e-6);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn degenerate_totals_are_safe() {
+        let s = Schedule::WarmupLinear {
+            warmup: 10,
+            total: 10,
+        };
+        assert_eq!(s.multiplier(20), 1.0);
+        let s = Schedule::WarmupLinear {
+            warmup: 0,
+            total: 100,
+        };
+        assert!((s.multiplier(0) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,1080 @@
+//! Reverse-mode autodiff over matrices.
+//!
+//! One [`Tape`] is built per training example: operations append nodes,
+//! [`Tape::backward`] runs the reverse sweep, and parameter gradients are
+//! harvested with [`Tape::harvest_grads`]. The op set is exactly what the
+//! RNN and transformer baselines require; every op's backward is verified
+//! against finite differences in the test module.
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Handle to a tape node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug)]
+enum Op {
+    Leaf {
+        param: Option<ParamId>,
+    },
+    MatMul(Var, Var),
+    Add(Var, Var),
+    /// `a` (r×c) plus a 1×c row vector broadcast over rows.
+    AddRow(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    Tanh(Var),
+    Sigmoid(Var),
+    Relu(Var),
+    Gelu(Var),
+    /// Row-wise softmax; the node value caches the output.
+    SoftmaxRows(Var),
+    /// Row-wise layer norm with 1×c gain and bias. Caches inverse std and
+    /// the normalized pre-gain activations.
+    LayerNorm {
+        x: Var,
+        gain: Var,
+        bias: Var,
+        inv_std: Vec<f32>,
+        normed: Matrix,
+    },
+    /// Embedding row gather: `weight` is V×d, value is ids.len()×d.
+    Gather {
+        weight: Var,
+        ids: Vec<u32>,
+    },
+    ConcatCols(Vec<Var>),
+    NarrowCols {
+        x: Var,
+        start: usize,
+        len: usize,
+    },
+    ConcatRows(Vec<Var>),
+    SelectRow {
+        x: Var,
+        row: usize,
+    },
+    Transpose(Var),
+    MeanRows(Var),
+    Dropout {
+        x: Var,
+        mask: Vec<f32>,
+    },
+    /// Fused mean cross-entropy over rows of logits; caches row softmax.
+    CrossEntropy {
+        logits: Var,
+        targets: Vec<usize>,
+        probs: Matrix,
+    },
+    /// Relative-position gather for disentangled attention. From x
+    /// (n×(2r+1)) produce (n×n): out[i][j] = x[i][clamp(j-i+r)]
+    /// (or x[j][clamp(i-j+r)] when `transposed`).
+    RelativeGather {
+        x: Var,
+        radius: usize,
+        transposed: bool,
+    },
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+}
+
+/// The autodiff tape.
+pub struct Tape {
+    nodes: Vec<Node>,
+    /// Training mode (enables dropout).
+    pub train: bool,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// Fresh tape in training mode.
+    pub fn new() -> Self {
+        Tape {
+            nodes: Vec::with_capacity(256),
+            train: true,
+        }
+    }
+
+    /// Fresh tape in inference mode (dropout disabled).
+    pub fn inference() -> Self {
+        Tape {
+            nodes: Vec::with_capacity(256),
+            train: false,
+        }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Borrow a node's value.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Borrow a node's gradient (after `backward`). Zero matrix if the node
+    /// never received gradient.
+    pub fn grad(&self, v: Var) -> Matrix {
+        match &self.nodes[v.0].grad {
+            Some(g) => g.clone(),
+            None => {
+                let val = &self.nodes[v.0].value;
+                Matrix::zeros(val.rows, val.cols)
+            }
+        }
+    }
+
+    /// Shape of a node.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        let m = &self.nodes[v.0].value;
+        (m.rows, m.cols)
+    }
+
+    // ---- graph construction --------------------------------------------
+
+    /// A constant leaf (no parameter attachment).
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf { param: None })
+    }
+
+    /// Leaf a parameter into the graph (value copied from the store).
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Leaf { param: Some(id) })
+    }
+
+    /// `a @ b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// Elementwise `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert!(va.same_shape(vb), "add shape mismatch");
+        let mut value = va.clone();
+        value.axpy(1.0, vb);
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// `a + row` with `row` broadcast over `a`'s rows.
+    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let (va, vr) = (&self.nodes[a.0].value, &self.nodes[row.0].value);
+        assert_eq!(vr.rows, 1, "add_row: bias must be 1×c");
+        assert_eq!(va.cols, vr.cols, "add_row: column mismatch");
+        let mut value = va.clone();
+        for r in 0..value.rows {
+            for (o, &b) in value.row_mut(r).iter_mut().zip(&vr.data) {
+                *o += b;
+            }
+        }
+        self.push(value, Op::AddRow(a, row))
+    }
+
+    /// Elementwise `a * b`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert!(va.same_shape(vb), "mul shape mismatch");
+        let value = Matrix {
+            rows: va.rows,
+            cols: va.cols,
+            data: va.data.iter().zip(&vb.data).map(|(&x, &y)| x * y).collect(),
+        };
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// `a * c` for scalar `c`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let value = self.nodes[a.0].value.map(|x| x * c);
+        self.push(value, Op::Scale(a, c))
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(f32::tanh);
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Elementwise GELU (tanh approximation).
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(gelu);
+        self.push(value, Op::Gelu(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let x = &self.nodes[a.0].value;
+        let mut value = x.clone();
+        for r in 0..value.rows {
+            softmax_in_place(value.row_mut(r));
+        }
+        self.push(value, Op::SoftmaxRows(a))
+    }
+
+    /// Row-wise layer normalization with learned 1×c gain and bias.
+    pub fn layer_norm(&mut self, x: Var, gain: Var, bias: Var) -> Var {
+        const EPS: f32 = 1e-5;
+        let vx = &self.nodes[x.0].value;
+        let vg = &self.nodes[gain.0].value;
+        let vb = &self.nodes[bias.0].value;
+        assert_eq!(vg.rows, 1, "layer_norm: gain must be 1×c");
+        assert_eq!(vb.rows, 1, "layer_norm: bias must be 1×c");
+        assert_eq!(vx.cols, vg.cols, "layer_norm: gain width");
+        assert_eq!(vx.cols, vb.cols, "layer_norm: bias width");
+
+        let mut normed = Matrix::zeros(vx.rows, vx.cols);
+        let mut inv_std = Vec::with_capacity(vx.rows);
+        let mut value = Matrix::zeros(vx.rows, vx.cols);
+        for r in 0..vx.rows {
+            let row = vx.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
+            let var: f32 =
+                row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / row.len() as f32;
+            let istd = 1.0 / (var + EPS).sqrt();
+            inv_std.push(istd);
+            for (c, &xv) in row.iter().enumerate() {
+                let n = (xv - mean) * istd;
+                normed.set(r, c, n);
+                value.set(r, c, n * vg.data[c] + vb.data[c]);
+            }
+        }
+        self.push(
+            value,
+            Op::LayerNorm {
+                x,
+                gain,
+                bias,
+                inv_std,
+                normed,
+            },
+        )
+    }
+
+    /// Gather embedding rows: `weight` (V×d) indexed by `ids`.
+    pub fn gather(&mut self, weight: Var, ids: &[u32]) -> Var {
+        let w = &self.nodes[weight.0].value;
+        let mut value = Matrix::zeros(ids.len(), w.cols);
+        for (r, &id) in ids.iter().enumerate() {
+            let id = id as usize;
+            assert!(id < w.rows, "gather: id {id} out of range ({})", w.rows);
+            value.row_mut(r).copy_from_slice(w.row(id));
+        }
+        self.push(
+            value,
+            Op::Gather {
+                weight,
+                ids: ids.to_vec(),
+            },
+        )
+    }
+
+    /// Concatenate along columns (all same row count).
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols: empty");
+        let rows = self.nodes[parts[0].0].value.rows;
+        let total: usize = parts.iter().map(|v| self.nodes[v.0].value.cols).sum();
+        let mut value = Matrix::zeros(rows, total);
+        let mut offset = 0;
+        for &p in parts {
+            let m = &self.nodes[p.0].value;
+            assert_eq!(m.rows, rows, "concat_cols: row mismatch");
+            for r in 0..rows {
+                value.data[r * total + offset..r * total + offset + m.cols]
+                    .copy_from_slice(m.row(r));
+            }
+            offset += m.cols;
+        }
+        self.push(value, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Select a column range.
+    pub fn narrow_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let m = &self.nodes[x.0].value;
+        assert!(start + len <= m.cols, "narrow_cols out of range");
+        let mut value = Matrix::zeros(m.rows, len);
+        for r in 0..m.rows {
+            value
+                .row_mut(r)
+                .copy_from_slice(&m.row(r)[start..start + len]);
+        }
+        self.push(value, Op::NarrowCols { x, start, len })
+    }
+
+    /// Concatenate along rows (all same column count).
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows: empty");
+        let cols = self.nodes[parts[0].0].value.cols;
+        let total: usize = parts.iter().map(|v| self.nodes[v.0].value.rows).sum();
+        let mut value = Matrix::zeros(total, cols);
+        let mut offset = 0;
+        for &p in parts {
+            let m = &self.nodes[p.0].value;
+            assert_eq!(m.cols, cols, "concat_rows: column mismatch");
+            value.data[offset * cols..(offset + m.rows) * cols].copy_from_slice(&m.data);
+            offset += m.rows;
+        }
+        self.push(value, Op::ConcatRows(parts.to_vec()))
+    }
+
+    /// Select one row as a 1×c matrix (CLS pooling).
+    pub fn select_row(&mut self, x: Var, row: usize) -> Var {
+        let m = &self.nodes[x.0].value;
+        assert!(row < m.rows, "select_row out of range");
+        let value = Matrix::row_vec(m.row(row).to_vec());
+        self.push(value, Op::SelectRow { x, row })
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&mut self, x: Var) -> Var {
+        let value = self.nodes[x.0].value.transpose();
+        self.push(value, Op::Transpose(x))
+    }
+
+    /// Mean over rows → 1×c (mean pooling).
+    pub fn mean_rows(&mut self, x: Var) -> Var {
+        let m = &self.nodes[x.0].value;
+        let mut value = Matrix::zeros(1, m.cols);
+        for r in 0..m.rows {
+            for (o, &v) in value.data.iter_mut().zip(m.row(r)) {
+                *o += v;
+            }
+        }
+        let n = m.rows.max(1) as f32;
+        for o in &mut value.data {
+            *o /= n;
+        }
+        self.push(value, Op::MeanRows(x))
+    }
+
+    /// Inverted dropout with keep-prob scaling; identity in inference mode.
+    pub fn dropout(&mut self, x: Var, p: f32, rng: &mut StdRng) -> Var {
+        if !self.train || p <= 0.0 {
+            // Identity via Scale(1.0) keeps graph structure simple.
+            return self.scale(x, 1.0);
+        }
+        let keep = 1.0 - p;
+        let m = &self.nodes[x.0].value;
+        let mask: Vec<f32> = (0..m.data.len())
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let value = Matrix {
+            rows: m.rows,
+            cols: m.cols,
+            data: m.data.iter().zip(&mask).map(|(&v, &k)| v * k).collect(),
+        };
+        self.push(value, Op::Dropout { x, mask })
+    }
+
+    /// Fused mean cross-entropy over rows of `logits` (n×C) against
+    /// per-row target class indices. Returns a 1×1 loss node.
+    pub fn cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let m = &self.nodes[logits.0].value;
+        assert_eq!(m.rows, targets.len(), "cross_entropy: target count");
+        let mut probs = m.clone();
+        let mut loss = 0.0f32;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < m.cols, "cross_entropy: target out of range");
+            softmax_in_place(probs.row_mut(r));
+            loss -= probs.get(r, t).max(1e-12).ln();
+        }
+        loss /= targets.len().max(1) as f32;
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            Op::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+                probs,
+            },
+        )
+    }
+
+    /// Relative-position gather (see [`Op::RelativeGather`]): from
+    /// `x` (n×(2·radius+1)) build an n×n score component.
+    pub fn relative_gather(&mut self, x: Var, n: usize, radius: usize, transposed: bool) -> Var {
+        let m = &self.nodes[x.0].value;
+        assert_eq!(m.cols, 2 * radius + 1, "relative_gather: width");
+        assert_eq!(m.rows, n, "relative_gather: rows");
+        let mut value = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let (src_row, offset) = if transposed {
+                    (j, i as i64 - j as i64)
+                } else {
+                    (i, j as i64 - i as i64)
+                };
+                let col = (offset + radius as i64).clamp(0, 2 * radius as i64) as usize;
+                value.set(i, j, m.get(src_row, col));
+            }
+        }
+        self.push(
+            value,
+            Op::RelativeGather {
+                x,
+                radius,
+                transposed,
+            },
+        )
+    }
+
+    // ---- backward --------------------------------------------------------
+
+    fn add_grad(&mut self, v: Var, g: Matrix) {
+        match &mut self.nodes[v.0].grad {
+            Some(existing) => existing.axpy(1.0, &g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Run the reverse sweep from `output` (seeded with ∂out/∂out = 1).
+    pub fn backward(&mut self, output: Var) {
+        let out_val = &self.nodes[output.0].value;
+        let seed = Matrix::full(out_val.rows, out_val.cols, 1.0);
+        self.add_grad(output, seed);
+
+        for idx in (0..=output.0).rev() {
+            let Some(grad) = self.nodes[idx].grad.clone() else {
+                continue;
+            };
+            // Take op apart immutably first; accumulate into parents after.
+            match &self.nodes[idx].op {
+                Op::Leaf { .. } => {}
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da = grad.matmul_nt(&self.nodes[b.0].value);
+                    let db = self.nodes[a.0].value.matmul_tn(&grad);
+                    self.add_grad(a, da);
+                    self.add_grad(b, db);
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.add_grad(a, grad.clone());
+                    self.add_grad(b, grad);
+                }
+                Op::AddRow(a, row) => {
+                    let (a, row) = (*a, *row);
+                    let mut drow = Matrix::zeros(1, grad.cols);
+                    for r in 0..grad.rows {
+                        for (o, &g) in drow.data.iter_mut().zip(grad.row(r)) {
+                            *o += g;
+                        }
+                    }
+                    self.add_grad(a, grad);
+                    self.add_grad(row, drow);
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let va = self.nodes[a.0].value.clone();
+                    let vb = self.nodes[b.0].value.clone();
+                    let da = Matrix {
+                        rows: grad.rows,
+                        cols: grad.cols,
+                        data: grad.data.iter().zip(&vb.data).map(|(&g, &v)| g * v).collect(),
+                    };
+                    let db = Matrix {
+                        rows: grad.rows,
+                        cols: grad.cols,
+                        data: grad.data.iter().zip(&va.data).map(|(&g, &v)| g * v).collect(),
+                    };
+                    self.add_grad(a, da);
+                    self.add_grad(b, db);
+                }
+                Op::Scale(a, c) => {
+                    let (a, c) = (*a, *c);
+                    self.add_grad(a, grad.map(|g| g * c));
+                }
+                Op::Tanh(a) => {
+                    let a = *a;
+                    let y = &self.nodes[idx].value;
+                    let da = Matrix {
+                        rows: grad.rows,
+                        cols: grad.cols,
+                        data: grad
+                            .data
+                            .iter()
+                            .zip(&y.data)
+                            .map(|(&g, &y)| g * (1.0 - y * y))
+                            .collect(),
+                    };
+                    self.add_grad(a, da);
+                }
+                Op::Sigmoid(a) => {
+                    let a = *a;
+                    let y = &self.nodes[idx].value;
+                    let da = Matrix {
+                        rows: grad.rows,
+                        cols: grad.cols,
+                        data: grad
+                            .data
+                            .iter()
+                            .zip(&y.data)
+                            .map(|(&g, &y)| g * y * (1.0 - y))
+                            .collect(),
+                    };
+                    self.add_grad(a, da);
+                }
+                Op::Relu(a) => {
+                    let a = *a;
+                    let x = &self.nodes[a.0].value;
+                    let da = Matrix {
+                        rows: grad.rows,
+                        cols: grad.cols,
+                        data: grad
+                            .data
+                            .iter()
+                            .zip(&x.data)
+                            .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
+                            .collect(),
+                    };
+                    self.add_grad(a, da);
+                }
+                Op::Gelu(a) => {
+                    let a = *a;
+                    let x = &self.nodes[a.0].value;
+                    let da = Matrix {
+                        rows: grad.rows,
+                        cols: grad.cols,
+                        data: grad
+                            .data
+                            .iter()
+                            .zip(&x.data)
+                            .map(|(&g, &x)| g * gelu_grad(x))
+                            .collect(),
+                    };
+                    self.add_grad(a, da);
+                }
+                Op::SoftmaxRows(a) => {
+                    let a = *a;
+                    let y = self.nodes[idx].value.clone();
+                    let mut da = Matrix::zeros(grad.rows, grad.cols);
+                    for r in 0..grad.rows {
+                        let g_row = grad.row(r);
+                        let y_row = y.row(r);
+                        let dot: f32 = g_row.iter().zip(y_row).map(|(&g, &y)| g * y).sum();
+                        for c in 0..grad.cols {
+                            da.set(r, c, y_row[c] * (g_row[c] - dot));
+                        }
+                    }
+                    self.add_grad(a, da);
+                }
+                Op::LayerNorm {
+                    x,
+                    gain,
+                    bias,
+                    inv_std,
+                    normed,
+                } => {
+                    let (x, gain, bias) = (*x, *gain, *bias);
+                    let inv_std = inv_std.clone();
+                    let normed = normed.clone();
+                    let vg = self.nodes[gain.0].value.clone();
+                    let n = grad.cols as f32;
+
+                    let mut dgain = Matrix::zeros(1, grad.cols);
+                    let mut dbias = Matrix::zeros(1, grad.cols);
+                    let mut dx = Matrix::zeros(grad.rows, grad.cols);
+                    for (r, &istd) in inv_std.iter().enumerate().take(grad.rows) {
+                        let g_row = grad.row(r);
+                        let n_row = normed.row(r);
+                        for c in 0..grad.cols {
+                            dgain.data[c] += g_row[c] * n_row[c];
+                            dbias.data[c] += g_row[c];
+                        }
+                        // dnormed = g * gain
+                        let dn: Vec<f32> = g_row
+                            .iter()
+                            .zip(&vg.data)
+                            .map(|(&g, &w)| g * w)
+                            .collect();
+                        let sum_dn: f32 = dn.iter().sum();
+                        let sum_dn_n: f32 = dn.iter().zip(n_row).map(|(&d, &m)| d * m).sum();
+                        for c in 0..grad.cols {
+                            let v = istd * (dn[c] - sum_dn / n - n_row[c] * sum_dn_n / n);
+                            dx.set(r, c, v);
+                        }
+                    }
+                    self.add_grad(x, dx);
+                    self.add_grad(gain, dgain);
+                    self.add_grad(bias, dbias);
+                }
+                Op::Gather { weight, ids } => {
+                    let weight = *weight;
+                    let ids = ids.clone();
+                    let w_shape = {
+                        let w = &self.nodes[weight.0].value;
+                        (w.rows, w.cols)
+                    };
+                    let mut dw = Matrix::zeros(w_shape.0, w_shape.1);
+                    for (r, &id) in ids.iter().enumerate() {
+                        let dst = dw.row_mut(id as usize);
+                        for (o, &g) in dst.iter_mut().zip(grad.row(r)) {
+                            *o += g;
+                        }
+                    }
+                    self.add_grad(weight, dw);
+                }
+                Op::ConcatCols(parts) => {
+                    let parts = parts.clone();
+                    let mut offset = 0;
+                    for p in parts {
+                        let cols = self.nodes[p.0].value.cols;
+                        let mut dp = Matrix::zeros(grad.rows, cols);
+                        for r in 0..grad.rows {
+                            dp.row_mut(r)
+                                .copy_from_slice(&grad.row(r)[offset..offset + cols]);
+                        }
+                        offset += cols;
+                        self.add_grad(p, dp);
+                    }
+                }
+                Op::NarrowCols { x, start, len } => {
+                    let (x, start, len) = (*x, *start, *len);
+                    let full = {
+                        let m = &self.nodes[x.0].value;
+                        (m.rows, m.cols)
+                    };
+                    let mut dx = Matrix::zeros(full.0, full.1);
+                    for r in 0..grad.rows {
+                        dx.row_mut(r)[start..start + len].copy_from_slice(grad.row(r));
+                    }
+                    self.add_grad(x, dx);
+                }
+                Op::ConcatRows(parts) => {
+                    let parts = parts.clone();
+                    let mut offset = 0;
+                    for p in parts {
+                        let rows = self.nodes[p.0].value.rows;
+                        let mut dp = Matrix::zeros(rows, grad.cols);
+                        dp.data.copy_from_slice(
+                            &grad.data[offset * grad.cols..(offset + rows) * grad.cols],
+                        );
+                        offset += rows;
+                        self.add_grad(p, dp);
+                    }
+                }
+                Op::SelectRow { x, row } => {
+                    let (x, row) = (*x, *row);
+                    let full = {
+                        let m = &self.nodes[x.0].value;
+                        (m.rows, m.cols)
+                    };
+                    let mut dx = Matrix::zeros(full.0, full.1);
+                    dx.row_mut(row).copy_from_slice(grad.row(0));
+                    self.add_grad(x, dx);
+                }
+                Op::Transpose(x) => {
+                    let x = *x;
+                    self.add_grad(x, grad.transpose());
+                }
+                Op::MeanRows(x) => {
+                    let x = *x;
+                    let rows = self.nodes[x.0].value.rows;
+                    let scale = 1.0 / rows.max(1) as f32;
+                    let mut dx = Matrix::zeros(rows, grad.cols);
+                    for r in 0..rows {
+                        for (o, &g) in dx.row_mut(r).iter_mut().zip(grad.row(0)) {
+                            *o = g * scale;
+                        }
+                    }
+                    self.add_grad(x, dx);
+                }
+                Op::Dropout { x, mask } => {
+                    let x = *x;
+                    let mask = mask.clone();
+                    let dx = Matrix {
+                        rows: grad.rows,
+                        cols: grad.cols,
+                        data: grad.data.iter().zip(&mask).map(|(&g, &m)| g * m).collect(),
+                    };
+                    self.add_grad(x, dx);
+                }
+                Op::CrossEntropy {
+                    logits,
+                    targets,
+                    probs,
+                } => {
+                    let logits = *logits;
+                    let targets = targets.clone();
+                    let probs = probs.clone();
+                    let upstream = grad.data[0];
+                    let n = targets.len().max(1) as f32;
+                    let mut dl = probs;
+                    for (r, &t) in targets.iter().enumerate() {
+                        let row = dl.row_mut(r);
+                        row[t] -= 1.0;
+                        for v in row.iter_mut() {
+                            *v *= upstream / n;
+                        }
+                    }
+                    // (loop above indexes by target, not position — fine)
+                    self.add_grad(logits, dl);
+                }
+                Op::RelativeGather {
+                    x,
+                    radius,
+                    transposed,
+                } => {
+                    let (x, radius, transposed) = (*x, *radius, *transposed);
+                    let n = grad.rows;
+                    let mut dx = Matrix::zeros(n, 2 * radius + 1);
+                    for i in 0..n {
+                        for j in 0..n {
+                            let (src_row, offset) = if transposed {
+                                (j, i as i64 - j as i64)
+                            } else {
+                                (i, j as i64 - i as i64)
+                            };
+                            let col =
+                                (offset + radius as i64).clamp(0, 2 * radius as i64) as usize;
+                            dx.data[src_row * (2 * radius + 1) + col] += grad.get(i, j);
+                        }
+                    }
+                    self.add_grad(x, dx);
+                }
+            }
+        }
+    }
+
+    /// After `backward`, push every parameter leaf's gradient into the
+    /// store.
+    pub fn harvest_grads(&self, store: &mut ParamStore) {
+        for node in &self.nodes {
+            if let Op::Leaf { param: Some(id) } = node.op {
+                if let Some(g) = &node.grad {
+                    store.accumulate(id, g);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes on the tape (diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Stable in-place softmax over a slice.
+fn softmax_in_place(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// GELU, tanh approximation.
+fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// d/dx of the tanh-approximated GELU.
+fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Finite-difference check: builds the graph twice per perturbed input
+    /// entry and compares ∂loss/∂x with the tape's gradient.
+    fn check_grad(
+        build: impl Fn(&mut Tape, Var) -> Var,
+        input: Matrix,
+        tol: f32,
+    ) {
+        // Analytic gradient.
+        let mut tape = Tape::new();
+        let x = tape.constant(input.clone());
+        let out = build(&mut tape, x);
+        // Reduce to scalar by summing (seeding with ones does this).
+        tape.backward(out);
+        let analytic = tape.grad(x);
+
+        // Numeric gradient.
+        let eps = 1e-2f32;
+        let eval = |m: &Matrix| -> f32 {
+            let mut t = Tape::new();
+            let v = t.constant(m.clone());
+            let o = build(&mut t, v);
+            t.value(o).data.iter().sum()
+        };
+        for i in 0..input.data.len() {
+            let mut plus = input.clone();
+            plus.data[i] += eps;
+            let mut minus = input.clone();
+            minus.data[i] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let got = analytic.data[i];
+            assert!(
+                (numeric - got).abs() < tol * (1.0 + numeric.abs()),
+                "grad mismatch at {i}: numeric {numeric}, analytic {got}"
+            );
+        }
+    }
+
+    fn test_input() -> Matrix {
+        Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.1, 0.7, -0.3])
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let w = Matrix::from_vec(3, 2, vec![0.2, -0.4, 1.0, 0.3, -0.6, 0.9]);
+        check_grad(
+            move |t, x| {
+                let w = t.constant(w.clone());
+                t.matmul(x, w)
+            },
+            test_input(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_add_and_mul() {
+        let other = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.25]);
+        let o2 = other.clone();
+        check_grad(
+            move |t, x| {
+                let o = t.constant(other.clone());
+                t.add(x, o)
+            },
+            test_input(),
+            1e-2,
+        );
+        check_grad(
+            move |t, x| {
+                let o = t.constant(o2.clone());
+                t.mul(x, o)
+            },
+            test_input(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_add_row() {
+        let bias = Matrix::row_vec(vec![0.3, -0.2, 0.8]);
+        check_grad(
+            move |t, x| {
+                let b = t.constant(bias.clone());
+                t.add_row(x, b)
+            },
+            test_input(),
+            1e-2,
+        );
+        // Bias side.
+        let base = test_input();
+        check_grad(
+            move |t, b| {
+                let x = t.constant(base.clone());
+                t.add_row(x, b)
+            },
+            Matrix::row_vec(vec![0.3, -0.2, 0.8]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_activations() {
+        check_grad(|t, x| t.tanh(x), test_input(), 2e-2);
+        check_grad(|t, x| t.sigmoid(x), test_input(), 2e-2);
+        check_grad(|t, x| t.gelu(x), test_input(), 3e-2);
+        // ReLU away from the kink.
+        check_grad(|t, x| t.relu(x), test_input(), 2e-2);
+    }
+
+    #[test]
+    fn grad_softmax_rows() {
+        // Compose with a weighting so the gradient isn't identically zero
+        // (softmax rows sum to 1, so a plain sum has zero gradient).
+        let weights = Matrix::from_vec(2, 3, vec![1.0, -2.0, 0.5, 0.3, 2.0, -1.0]);
+        check_grad(
+            move |t, x| {
+                let s = t.softmax_rows(x);
+                let w = t.constant(weights.clone());
+                t.mul(s, w)
+            },
+            test_input(),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        let gain = Matrix::row_vec(vec![1.2, 0.8, 1.0]);
+        let bias = Matrix::row_vec(vec![0.1, -0.1, 0.0]);
+        let weights = Matrix::from_vec(2, 3, vec![1.0, -2.0, 0.5, 0.3, 2.0, -1.0]);
+        check_grad(
+            move |t, x| {
+                let g = t.constant(gain.clone());
+                let b = t.constant(bias.clone());
+                let ln = t.layer_norm(x, g, b);
+                let w = t.constant(weights.clone());
+                t.mul(ln, w)
+            },
+            test_input(),
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn grad_gather() {
+        check_grad(
+            |t, w| t.gather(w, &[2, 0, 2]),
+            Matrix::from_vec(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_narrow_select() {
+        check_grad(
+            |t, x| {
+                let a = t.narrow_cols(x, 0, 2);
+                let b = t.narrow_cols(x, 1, 2);
+                let c = t.concat_cols(&[a, b]);
+                t.select_row(c, 1)
+            },
+            test_input(),
+            1e-2,
+        );
+        check_grad(
+            |t, x| {
+                let a = t.select_row(x, 0);
+                let b = t.select_row(x, 1);
+                t.concat_rows(&[a, b])
+            },
+            test_input(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_transpose_mean() {
+        check_grad(|t, x| t.transpose(x), test_input(), 1e-2);
+        check_grad(|t, x| t.mean_rows(x), test_input(), 1e-2);
+    }
+
+    #[test]
+    fn grad_cross_entropy() {
+        check_grad(
+            |t, x| t.cross_entropy(x, &[2, 0]),
+            test_input(),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_relative_gather() {
+        for transposed in [false, true] {
+            check_grad(
+                move |t, x| t.relative_gather(x, 3, 2, transposed),
+                Matrix::from_vec(3, 5, (0..15).map(|i| (i as f32) * 0.1 - 0.7).collect()),
+                1e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_identity_in_inference() {
+        let mut tape = Tape::inference();
+        let x = tape.constant(test_input());
+        let mut rng = StdRng::seed_from_u64(3);
+        let y = tape.dropout(x, 0.5, &mut rng);
+        assert_eq!(tape.value(y), tape.value(x));
+    }
+
+    #[test]
+    fn dropout_scales_by_keep_prob() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::full(10, 10, 1.0));
+        let mut rng = StdRng::seed_from_u64(4);
+        let y = tape.dropout(x, 0.5, &mut rng);
+        let vals = &tape.value(y).data;
+        assert!(vals.iter().all(|&v| v == 0.0 || v == 2.0));
+        let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+        assert!((mean - 1.0).abs() < 0.3, "inverted dropout keeps scale");
+    }
+
+    #[test]
+    fn cross_entropy_value_matches_manual() {
+        let mut tape = Tape::new();
+        let logits = tape.constant(Matrix::from_vec(1, 3, vec![0.0, 0.0, 0.0]));
+        let loss = tape.cross_entropy(logits, &[1]);
+        assert!((tape.value(loss).data[0] - 3.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn param_grads_harvested() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]));
+        let mut tape = Tape::new();
+        let w = tape.param(&store, id);
+        let x = tape.constant(Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let y = tape.matmul(x, w);
+        tape.backward(y);
+        tape.harvest_grads(&mut store);
+        // dL/dw = xᵀ @ ones(1×2)
+        assert_eq!(store.grad(id).data, vec![3.0, 3.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_paths() {
+        // y = x + x → dy/dx = 2
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_vec(1, 1, vec![5.0]));
+        let y = tape.add(x, x);
+        tape.backward(y);
+        assert_eq!(tape.grad(x).data, vec![2.0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Duplicate removal (paper §II-A2, step 2).
+//!
+//! Duplicates are detected on *normalized* bodies (cleaned text), so a
+//! repost that differs only in injected noise — an extra link, punctuation
+//! runs, casing — still collapses onto its original. First occurrence (by
+//! supplied order, which the pipeline keeps chronological) wins.
+
+use std::collections::HashMap;
+
+use crate::tokenize::tokenize;
+use rsd_common::rng::fnv1a;
+
+/// Canonical form used for duplicate comparison: the token stream joined by
+/// single spaces, so residual punctuation differences don't defeat dedup.
+pub fn canonical(cleaned: &str) -> String {
+    tokenize(cleaned).join(" ")
+}
+
+/// Stable 64-bit fingerprint of a cleaned body (over its canonical form).
+pub fn fingerprint(cleaned: &str) -> u64 {
+    fnv1a(canonical(cleaned).as_bytes())
+}
+
+/// Given cleaned bodies in chronological order, return for each item
+/// `Some(first_index)` if it duplicates an earlier item, else `None`.
+pub fn find_duplicates(cleaned_bodies: &[String]) -> Vec<Option<usize>> {
+    let canon: Vec<String> = cleaned_bodies.iter().map(|b| canonical(b)).collect();
+    let mut first_seen: HashMap<u64, usize> = HashMap::with_capacity(canon.len());
+    let mut out = Vec::with_capacity(canon.len());
+    for (idx, body) in canon.iter().enumerate() {
+        let fp = fnv1a(body.as_bytes());
+        match first_seen.get(&fp) {
+            // Hash collision guard: verify actual equality before marking.
+            Some(&orig) if canon[orig] == *body => out.push(Some(orig)),
+            _ => {
+                first_seen.entry(fp).or_insert(idx);
+                out.push(None);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn exact_duplicates_found() {
+        let bodies = s(&["a b c", "d e f", "a b c", "a b c"]);
+        assert_eq!(
+            find_duplicates(&bodies),
+            vec![None, None, Some(0), Some(0)]
+        );
+    }
+
+    #[test]
+    fn no_duplicates_all_none() {
+        let bodies = s(&["one", "two", "three"]);
+        assert!(find_duplicates(&bodies).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn first_occurrence_wins() {
+        let bodies = s(&["x", "x", "x"]);
+        assert_eq!(find_duplicates(&bodies), vec![None, Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(find_duplicates(&[]).is_empty());
+    }
+
+    #[test]
+    fn normalization_makes_noisy_reposts_collapse() {
+        use crate::clean::clean_text;
+        let original = "i wrote the note last night. nobody noticed.";
+        let noisy_repost = "I wrote the note last night!! nobody noticed. https://x.y/z";
+        let bodies = vec![clean_text(original), clean_text(noisy_repost)];
+        assert_eq!(find_duplicates(&bodies), vec![None, Some(0)]);
+    }
+}

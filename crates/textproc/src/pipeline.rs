@@ -1,0 +1,189 @@
+//! The orchestrating preprocessing pipeline (paper §II-A2).
+//!
+//! Applies the paper's steps in order — clean, relevance-filter,
+//! deduplicate, length-filter — over bodies supplied in chronological
+//! order, and reports what was removed at each stage. The pipeline is
+//! corpus-agnostic: it sees only text, never generator ground truth, so
+//! its precision/recall can be honestly measured against that ground truth
+//! by callers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clean::clean_text;
+use crate::dedup::find_duplicates;
+use crate::relevance::is_relevant;
+use crate::tokenize::token_count;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Preprocessor {
+    /// Posts with fewer cleaned tokens than this are dropped as noise.
+    pub min_tokens: usize,
+    /// Whether to apply the relevance filter (step 1).
+    pub filter_irrelevant: bool,
+    /// Whether to apply duplicate removal (step 2).
+    pub remove_duplicates: bool,
+}
+
+impl Default for Preprocessor {
+    fn default() -> Self {
+        Preprocessor {
+            min_tokens: 3,
+            filter_irrelevant: true,
+            remove_duplicates: true,
+        }
+    }
+}
+
+/// Per-stage removal accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreprocessReport {
+    /// Inputs seen.
+    pub total: usize,
+    /// Removed by the relevance filter.
+    pub removed_irrelevant: usize,
+    /// Removed as duplicates of an earlier post.
+    pub removed_duplicates: usize,
+    /// Removed for being shorter than `min_tokens` after cleaning.
+    pub removed_too_short: usize,
+    /// Survivors.
+    pub kept: usize,
+}
+
+/// Result of preprocessing a batch of bodies.
+#[derive(Debug, Clone)]
+pub struct PreprocessOutcome {
+    /// Cleaned text for every input (including removed ones, for audit).
+    pub cleaned: Vec<String>,
+    /// `keep[i]` — post `i` survived all filters.
+    pub keep: Vec<bool>,
+    /// Stage accounting.
+    pub report: PreprocessReport,
+}
+
+impl Preprocessor {
+    /// Run the pipeline over raw bodies (chronological order expected: the
+    /// dedup stage keeps first occurrences).
+    pub fn run(&self, raw_bodies: &[String]) -> PreprocessOutcome {
+        let cleaned: Vec<String> = raw_bodies.iter().map(|b| clean_text(b)).collect();
+        let mut keep = vec![true; cleaned.len()];
+        let mut report = PreprocessReport {
+            total: cleaned.len(),
+            ..Default::default()
+        };
+
+        if self.filter_irrelevant {
+            for (i, c) in cleaned.iter().enumerate() {
+                if keep[i] && !is_relevant(c) {
+                    keep[i] = false;
+                    report.removed_irrelevant += 1;
+                }
+            }
+        }
+
+        if self.remove_duplicates {
+            // Dedup runs over all posts (including irrelevant ones) so a
+            // relevant repost of a removed original is still caught.
+            for (i, dup) in find_duplicates(&cleaned).iter().enumerate() {
+                if keep[i] && dup.is_some() {
+                    keep[i] = false;
+                    report.removed_duplicates += 1;
+                }
+            }
+        }
+
+        for (i, c) in cleaned.iter().enumerate() {
+            if keep[i] && token_count(c) < self.min_tokens {
+                keep[i] = false;
+                report.removed_too_short += 1;
+            }
+        }
+
+        report.kept = keep.iter().filter(|&&k| k).count();
+        PreprocessOutcome {
+            cleaned,
+            keep,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bodies(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn report_accounts_for_every_removal() {
+        let raw = bodies(&[
+            "i want to end it all tonight",               // kept
+            "patch notes nerfed my favorite loadout",     // irrelevant
+            "i want to end it all tonight",               // duplicate
+            "suicide",                                    // too short
+        ]);
+        let out = Preprocessor::default().run(&raw);
+        assert_eq!(out.report.total, 4);
+        assert_eq!(out.report.removed_irrelevant, 1);
+        assert_eq!(out.report.removed_duplicates, 1);
+        assert_eq!(out.report.removed_too_short, 1);
+        assert_eq!(out.report.kept, 1);
+        assert_eq!(out.keep, vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn stages_can_be_disabled() {
+        let raw = bodies(&["the pizza place downtown finally reopened today"]);
+        let pp = Preprocessor {
+            filter_irrelevant: false,
+            ..Default::default()
+        };
+        let out = pp.run(&raw);
+        assert_eq!(out.report.kept, 1);
+    }
+
+    #[test]
+    fn dedup_sees_noisy_variants() {
+        let raw = bodies(&[
+            "i wrote the note last night and i feel hopeless",
+            "I wrote the note last night and i feel HOPELESS!! https://a.b/c",
+        ]);
+        let out = Preprocessor::default().run(&raw);
+        assert_eq!(out.report.removed_duplicates, 1);
+        assert_eq!(out.report.kept, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = Preprocessor::default().run(&[]);
+        assert_eq!(out.report, PreprocessReport::default());
+        assert!(out.cleaned.is_empty());
+    }
+
+    #[test]
+    fn cleaned_retained_for_removed_posts() {
+        let raw = bodies(&["selling my old graphics card dm me"]);
+        let out = Preprocessor::default().run(&raw);
+        assert!(!out.keep[0]);
+        assert_eq!(out.cleaned[0], "selling my old graphics card dm me");
+    }
+
+    #[test]
+    fn kept_sum_is_consistent() {
+        let raw = bodies(&[
+            "i survived my attempt last year and i am still here",
+            "my fantasy league is an absolute disaster",
+            "i survived my attempt last year and i am still here",
+            "help",
+            "i keep thinking about wanting to disappear for good",
+        ]);
+        let out = Preprocessor::default().run(&raw);
+        let r = out.report;
+        assert_eq!(
+            r.total,
+            r.kept + r.removed_irrelevant + r.removed_duplicates + r.removed_too_short
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Dataset tour: the analysis surface beyond the headline benchmark —
+//! serialization round-trip, privacy audit, temporal partitioning,
+//! k-fold cross-validation, trajectory analytics, and uncertainty-aware
+//! agreement statistics.
+//!
+//! Run: `cargo run --release --example dataset_tour`
+
+use rsd15k::dataset::splits::{final_post_quantile, kfold, temporal_partition};
+use rsd15k::dataset::trajectory::trajectory_report;
+use rsd15k::dataset::{io, privacy};
+use rsd15k::eval::bootstrap_metrics;
+use rsd15k::prelude::*;
+
+fn main() -> Result<()> {
+    let seed = 23;
+    let (dataset, report) = DatasetBuilder::new(BuildConfig::scaled(seed, 4_000, 80)).build()?;
+    println!(
+        "built {} posts / {} users (kappa {:.3}, alpha {:.3})",
+        dataset.n_posts(),
+        dataset.n_users(),
+        report.campaign.fleiss_kappa,
+        report.campaign.krippendorff_alpha
+    );
+
+    // Round-trip through the release format.
+    let mut buf = Vec::new();
+    io::to_jsonl(&dataset, &mut buf)?;
+    let restored = io::from_jsonl(&buf[..])?;
+    assert_eq!(dataset, restored);
+    println!("JSONL round-trip: {} bytes, identical", buf.len());
+
+    // Privacy audit (§IV).
+    let audit = privacy::audit(&dataset);
+    println!(
+        "privacy audit: {} posts scanned, {}",
+        audit.posts_scanned,
+        if audit.passed() { "clean" } else { "FINDINGS!" }
+    );
+
+    // Chronological split: no training label postdates test context.
+    let cutoff = final_post_quantile(&dataset, 0.7);
+    let (early, late) = temporal_partition(&dataset, cutoff, 5)?;
+    println!(
+        "temporal partition at {cutoff}: {} early users / {} late users",
+        early.len(),
+        late.len()
+    );
+
+    // User-disjoint 5-fold CV.
+    let folds = kfold(&dataset, 5, 5, seed)?;
+    println!("5-fold CV: test sizes {:?}", folds.iter().map(|(_, t)| t.len()).collect::<Vec<_>>());
+
+    // Trajectory analytics.
+    let traj = trajectory_report(&dataset);
+    println!(
+        "trajectories: persistence {:.2}, escalation rate {:.2}, {:.0}% of users reach BR/AT",
+        traj.persistence,
+        traj.escalation_rate,
+        traj.users_reaching_high_risk * 100.0
+    );
+
+    // Bootstrap CI for a trivial majority-class predictor on fold 0.
+    let (_, test) = &folds[0];
+    let truth: Vec<usize> = test.iter().map(|w| w.label.index()).collect();
+    let majority = RiskLevel::Ideation.index();
+    let pred = vec![majority; truth.len()];
+    let (acc, f1) = bootstrap_metrics(4, &truth, &pred, 500, 0.95, seed)?;
+    println!(
+        "majority-class baseline on fold 0: acc {:.2} [{:.2}, {:.2}] @95%, macro-F1 {:.2}",
+        acc.estimate, acc.lo, acc.hi, f1.estimate
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: the whole RSD-15K pipeline in one small run.
+//!
+//! Builds a scaled-down dataset end-to-end (generation → simulated crawl →
+//! preprocessing → selection → annotation campaign), prints its Table I
+//! distribution and kappa, then trains the XGBoost baseline and reports
+//! user-level risk-assessment metrics.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use rsd15k::prelude::*;
+use rsd15k::dataset::stats::class_distribution;
+
+fn main() -> Result<()> {
+    let seed = 7;
+    println!("== building dataset (scaled: 4,000 raw users -> 80 annotated) ==");
+    let (dataset, report) = DatasetBuilder::new(BuildConfig::scaled(seed, 4_000, 80)).build()?;
+    println!(
+        "raw pool: {} posts / {} users; crawled via {} API requests",
+        report.raw_posts, report.raw_users, report.crawl.requests
+    );
+    println!(
+        "preprocessing removed {} irrelevant, {} duplicates, {} too-short",
+        report.preprocess.removed_irrelevant,
+        report.preprocess.removed_duplicates,
+        report.preprocess.removed_too_short
+    );
+    println!(
+        "annotated: {} posts / {} users; Fleiss kappa {:.4}",
+        dataset.n_posts(),
+        dataset.n_users(),
+        report.campaign.fleiss_kappa
+    );
+
+    println!("\n== Table I (this build) ==");
+    for row in class_distribution(&dataset) {
+        println!("  {:<10} {:>5}  {:>6.2}%", row.category, row.count, row.percentage);
+    }
+
+    println!("\n== user-level task: 80/10/10 user-disjoint split, window = 5 ==");
+    let splits = DatasetSplits::new(&dataset, SplitConfig { seed, ..Default::default() })?;
+    println!(
+        "  train {} / valid {} / test {} users",
+        splits.train.len(),
+        splits.valid.len(),
+        splits.test.len()
+    );
+
+    println!("\n== XGBoost baseline ==");
+    let data = BenchData {
+        dataset: &dataset,
+        splits: &splits,
+        unlabeled: &[],
+        seed,
+    };
+    let outcome = XgboostBaseline::new(XgboostConfig::default()).run(&data)?;
+    print!("{}", outcome.report);
+    for (k, v) in &outcome.extra {
+        if k.starts_with("importance") {
+            println!("  {k}: {v}");
+        }
+    }
+    Ok(())
+}

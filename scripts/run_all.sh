@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure artifact and store raw outputs under
+# bench_runs/<scale>/. Usage: scripts/run_all.sh [paper|mid|small]
+set -euo pipefail
+SCALE="${1:-mid}"
+OUT="bench_runs/$SCALE"
+mkdir -p "$OUT"
+export RSD_SCALE="$SCALE"
+cargo build --release -p rsd-bench
+for bin in table1 table2 table3 table4 fig1 fig2 fig3 fig4 kappa trajectories post_level ablations; do
+    echo "== $bin ($SCALE) =="
+    cargo run --release -q -p rsd-bench --bin "$bin" | tee "$OUT/$bin.txt"
+done
+echo "all outputs in $OUT/"

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # rsd15k — a full-system Rust reproduction of *RSD-15K* (ICDE 2025)
+//!
+//! RSD-15K is a large-scale user-level annotated dataset for suicide risk
+//! detection on social media. This workspace reproduces the paper as a
+//! working system: the data substrate (a synthetic Reddit corpus standing
+//! in for the gated crawl), the full annotation pipeline with its quality
+//! gates, the dataset itself, and the five-baseline benchmark — all in
+//! pure Rust, deterministic from a single seed.
+//!
+//! This crate is the facade: it re-exports every subsystem and provides
+//! [`prelude`] for one-line imports. See `README.md` for the architecture
+//! tour and `EXPERIMENTS.md` for paper-vs-measured numbers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rsd15k::prelude::*;
+//!
+//! // Build a small dataset end-to-end: generate → crawl → preprocess →
+//! // select → annotate → assemble.
+//! let (dataset, report) = DatasetBuilder::new(BuildConfig::scaled(7, 2_000, 32))
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(dataset.n_users(), 32);
+//! assert!(report.campaign.fleiss_kappa > 0.5);
+//!
+//! // User-disjoint 80/10/10 splits with 5-post windows (the paper's task).
+//! let splits = DatasetSplits::new(&dataset, SplitConfig::default()).unwrap();
+//! assert!(splits.is_user_disjoint());
+//! ```
+
+pub use rsd_annotation as annotation;
+pub use rsd_common as common;
+pub use rsd_corpus as corpus;
+pub use rsd_dataset as dataset;
+pub use rsd_eval as eval;
+pub use rsd_features as features;
+pub use rsd_gbdt as gbdt;
+pub use rsd_models as models;
+pub use rsd_nn as nn;
+pub use rsd_text as text;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use rsd_annotation::{Campaign, CampaignConfig, LabelSource};
+    pub use rsd_common::{Result, RsdError, Timestamp};
+    pub use rsd_corpus::{CorpusConfig, CorpusGenerator, PostId, RiskLevel, UserId};
+    pub use rsd_dataset::{
+        BuildConfig, DatasetBuilder, DatasetSplits, Post, Rsd15k, SplitConfig, UserRecord,
+        UserWindow,
+    };
+    pub use rsd_eval::{ClassificationReport, ConfusionMatrix};
+    pub use rsd_models::{
+        BenchData, BiLstmBaseline, BiLstmConfig, HiGruBaseline, HiGruConfig, PlmBaseline,
+        PlmConfig, PlmKind, TrainConfig, XgboostBaseline, XgboostConfig,
+    };
+    pub use rsd_text::Preprocessor;
+}

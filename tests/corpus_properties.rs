@@ -1,0 +1,77 @@
+//! Property tests on the corpus generator: structural invariants hold for
+//! arbitrary seeds and scales.
+
+use proptest::prelude::*;
+use rsd15k::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_corpora_are_structurally_sound(
+        seed in 0u64..10_000,
+        users in 50usize..300,
+    ) {
+        let corpus = CorpusGenerator::new(CorpusConfig::small(seed, users))
+            .unwrap()
+            .generate();
+        prop_assert_eq!(corpus.users.len(), users);
+        // Dense ids, author consistency, chronological timelines.
+        for (i, post) in corpus.posts.iter().enumerate() {
+            prop_assert_eq!(post.id.0 as usize, i);
+            prop_assert!(!post.body.is_empty());
+        }
+        for user in &corpus.users {
+            prop_assert!(!user.post_ids.is_empty());
+            let mut prev = Timestamp(i64::MIN);
+            for pid in &user.post_ids {
+                let p = corpus.post(*pid).unwrap();
+                prop_assert_eq!(p.author, user.id);
+                prop_assert!(p.created >= prev);
+                prev = p.created;
+            }
+        }
+        // Every post belongs to exactly one user timeline.
+        let total_in_timelines: usize =
+            corpus.users.iter().map(|u| u.post_ids.len()).sum();
+        prop_assert_eq!(total_in_timelines, corpus.posts.len());
+        // Reposts always reference an earlier post of the same author.
+        for p in &corpus.posts {
+            if let Some(orig) = p.duplicate_of {
+                let o = corpus.post(orig).unwrap();
+                prop_assert_eq!(o.author, p.author);
+                prop_assert!(o.created <= p.created);
+                prop_assert_eq!(&o.body, &p.body);
+            }
+        }
+    }
+
+    #[test]
+    fn preprocessing_never_increases_posts(
+        seed in 0u64..10_000,
+        users in 50usize..200,
+    ) {
+        let corpus = CorpusGenerator::new(CorpusConfig::small(seed, users))
+            .unwrap()
+            .generate();
+        let bodies: Vec<String> = corpus.posts.iter().map(|p| p.body.clone()).collect();
+        let out = Preprocessor::default().run(&bodies);
+        prop_assert_eq!(out.report.total, bodies.len());
+        prop_assert!(out.report.kept <= out.report.total);
+        prop_assert_eq!(
+            out.report.total,
+            out.report.kept
+                + out.report.removed_irrelevant
+                + out.report.removed_duplicates
+                + out.report.removed_too_short
+        );
+        // Dedup must catch every generator-marked duplicate whose original
+        // was also kept in the pool (guaranteed recall on exact reposts).
+        let dup_marked = corpus
+            .posts
+            .iter()
+            .filter(|p| p.duplicate_of.is_some())
+            .count();
+        prop_assert!(out.report.removed_duplicates >= dup_marked / 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Integration: every baseline trains end-to-end on a small build and
+//! produces a coherent report.
+
+use rsd15k::models::pretrain::PretrainConfig;
+use rsd15k::prelude::*;
+
+fn bench_fixture() -> (Rsd15k, DatasetSplits, Vec<String>) {
+    let (dataset, unlabeled, _) = DatasetBuilder::new(BuildConfig::scaled(9001, 2_500, 40))
+        .build_with_pool()
+        .unwrap();
+    let splits = DatasetSplits::new(&dataset, SplitConfig::default()).unwrap();
+    (dataset, splits, unlabeled)
+}
+
+#[test]
+fn xgboost_beats_uniform_chance() {
+    let (dataset, splits, _) = bench_fixture();
+    let data = BenchData { dataset: &dataset, splits: &splits, unlabeled: &[], seed: 9001 };
+    let outcome = XgboostBaseline::new(XgboostConfig::default()).run(&data).unwrap();
+    assert!(
+        outcome.report.accuracy >= 0.25,
+        "acc {}",
+        outcome.report.accuracy
+    );
+    assert_eq!(outcome.confusion.total() as usize, splits.test.len());
+}
+
+#[test]
+fn all_neural_baselines_run() {
+    let (dataset, splits, unlabeled) = bench_fixture();
+    let data = BenchData {
+        dataset: &dataset,
+        splits: &splits,
+        unlabeled: &unlabeled,
+        seed: 9001,
+    };
+    let tiny_train = TrainConfig { epochs: 1, batch: 8, patience: 0, ..Default::default() };
+
+    let bilstm = BiLstmBaseline::new(BiLstmConfig {
+        max_vocab: 400,
+        max_tokens: 16,
+        window_tokens: 24,
+        emb_dim: 8,
+        hidden: 8,
+        heads: 2,
+        train: tiny_train.clone(),
+    })
+    .run(&data)
+    .unwrap();
+    assert_eq!(bilstm.report.model, "BiLSTM");
+
+    let higru = HiGruBaseline::new(HiGruConfig {
+        max_vocab: 400,
+        max_tokens: 12,
+        emb_dim: 8,
+        token_hidden: 4,
+        post_hidden: 8,
+        heads: 2,
+        train: tiny_train.clone(),
+    })
+    .run(&data)
+    .unwrap();
+    assert_eq!(higru.report.model, "HiGRU");
+
+    for kind in [PlmKind::Roberta, PlmKind::Deberta] {
+        let outcome = PlmBaseline::new(PlmConfig {
+            max_vocab: 400,
+            max_tokens: 12,
+            window_tokens: 20,
+            dim: 8,
+            layers: 1,
+            heads: 2,
+            ffn_dim: 16,
+            pretrain_texts: 40,
+            pretrain: PretrainConfig { epochs: 1, ..Default::default() },
+            train: tiny_train.clone(),
+            ..PlmConfig::base(kind)
+        })
+        .run(&data)
+        .unwrap();
+        assert_eq!(outcome.report.model, kind.name());
+        assert!(outcome.extra.iter().any(|(k, _)| k == "mlm_final_loss"));
+    }
+}

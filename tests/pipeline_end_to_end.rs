@@ -1,0 +1,68 @@
+//! Integration: the full paper pipeline at test scale — generation,
+//! simulated crawl, preprocessing, selection, annotation, assembly,
+//! splits, privacy audit, serialization round-trip.
+
+use rsd15k::dataset::{io, privacy};
+use rsd15k::prelude::*;
+
+fn build() -> (Rsd15k, rsd15k::dataset::BuildReport) {
+    DatasetBuilder::new(BuildConfig::scaled(7001, 3_000, 50))
+        .build()
+        .expect("build")
+}
+
+#[test]
+fn full_pipeline_produces_consistent_dataset() {
+    let (dataset, report) = build();
+    dataset.validate().expect("structural invariants");
+    assert_eq!(dataset.n_users(), 50);
+    assert!(report.raw_posts > dataset.n_posts());
+    assert!(report.crawl.requests > 0, "data must flow through the API");
+    // Class ordering from Table I must survive the whole pipeline.
+    let counts = dataset.class_counts();
+    assert!(counts[RiskLevel::Ideation.index()] > counts[RiskLevel::Indicator.index()]);
+    assert!(counts[RiskLevel::Indicator.index()] > counts[RiskLevel::Behavior.index()]);
+    assert!(counts[RiskLevel::Behavior.index()] > counts[RiskLevel::Attempt.index()]);
+}
+
+#[test]
+fn splits_are_user_disjoint_and_windowed() {
+    let (dataset, _) = build();
+    let splits = DatasetSplits::new(&dataset, SplitConfig::default()).expect("split");
+    assert!(splits.is_user_disjoint());
+    assert_eq!(splits.total(), dataset.n_users());
+    for w in splits.train.iter().chain(&splits.valid).chain(&splits.test) {
+        assert!(!w.post_indices.is_empty() && w.post_indices.len() <= 5);
+        assert_eq!(w.label, dataset.posts[*w.post_indices.last().unwrap()].label);
+    }
+}
+
+#[test]
+fn privacy_audit_passes_on_release_artifact() {
+    let (dataset, _) = build();
+    let audit = privacy::audit(&dataset);
+    assert!(audit.passed(), "findings: {:?}", audit.findings);
+}
+
+#[test]
+fn jsonl_round_trip_preserves_everything() {
+    let (dataset, _) = build();
+    let mut buf = Vec::new();
+    io::to_jsonl(&dataset, &mut buf).expect("serialize");
+    let back = io::from_jsonl(&buf[..]).expect("deserialize");
+    assert_eq!(dataset, back);
+}
+
+#[test]
+fn annotation_quality_gates_hold() {
+    let (_, report) = build();
+    let c = &report.campaign;
+    assert!(c.kappa_items > 0);
+    assert!((0.55..=0.90).contains(&c.fleiss_kappa), "kappa {}", c.fleiss_kappa);
+    assert!(c.label_accuracy > 0.80, "label accuracy {}", c.label_accuracy);
+    let passed = c.days.iter().filter(|d| d.passed).count();
+    assert!(passed * 10 >= c.days.len() * 8, "most inspection days pass");
+    for q in &c.qualification {
+        assert!(*q.round_accuracies.last().unwrap() >= 0.95);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use proptest::prelude::*;
+use rsd15k::common::stats::softmax;
+use rsd15k::common::Timestamp;
+use rsd15k::eval::kappa::fleiss_kappa_from_raters;
+use rsd15k::eval::ConfusionMatrix;
+use rsd15k::text::{clean_text, tokenize, SparseVec};
+
+proptest! {
+    /// Civil-time conversion round-trips for any timestamp in a ±200-year
+    /// range around the epoch.
+    #[test]
+    fn timestamp_civil_round_trip(secs in -6_000_000_000i64..6_000_000_000i64) {
+        let t = Timestamp(secs);
+        prop_assert_eq!(t.to_civil().to_timestamp(), t);
+    }
+
+    /// Hour and weekday are consistent with raw arithmetic.
+    #[test]
+    fn hour_matches_mod_arithmetic(secs in -6_000_000_000i64..6_000_000_000i64) {
+        let t = Timestamp(secs);
+        prop_assert_eq!(i64::from(t.hour()), secs.rem_euclid(86_400) / 3_600);
+    }
+
+    /// Cleaning is idempotent on arbitrary input.
+    #[test]
+    fn clean_text_idempotent(raw in ".{0,200}") {
+        let once = clean_text(&raw);
+        prop_assert_eq!(clean_text(&once), once);
+    }
+
+    /// Cleaned text never contains URLs or uppercase.
+    #[test]
+    fn clean_text_postconditions(raw in ".{0,200}") {
+        let cleaned = clean_text(&raw);
+        prop_assert!(!cleaned.contains("https://"));
+        prop_assert!(!cleaned.contains("http://"));
+        prop_assert!(!cleaned.chars().any(|c| c.is_ascii_uppercase()));
+        prop_assert!(!cleaned.contains("  "));
+    }
+
+    /// Tokenization of cleaned text yields tokens free of separators.
+    #[test]
+    fn tokens_have_no_separators(raw in ".{0,200}") {
+        let cleaned = clean_text(&raw);
+        for tok in tokenize(&cleaned) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(!tok.contains(' '));
+            prop_assert!(!tok.contains('.'));
+        }
+    }
+
+    /// Softmax outputs a probability distribution for any finite input.
+    #[test]
+    fn softmax_is_distribution(xs in proptest::collection::vec(-50.0f64..50.0, 1..12)) {
+        let p = softmax(&xs);
+        prop_assert_eq!(p.len(), xs.len());
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    /// Sparse dot products are symmetric and bounded by norms.
+    #[test]
+    fn sparse_dot_cauchy_schwarz(
+        a in proptest::collection::vec((0u32..64, -5.0f32..5.0), 0..16),
+        b in proptest::collection::vec((0u32..64, -5.0f32..5.0), 0..16),
+    ) {
+        let build = |mut pairs: Vec<(u32, f32)>| {
+            pairs.sort_by_key(|&(i, _)| i);
+            pairs.dedup_by_key(|&mut (i, _)| i);
+            SparseVec {
+                indices: pairs.iter().map(|&(i, _)| i).collect(),
+                values: pairs.iter().map(|&(_, v)| v).collect(),
+            }
+        };
+        let va = build(a);
+        let vb = build(b);
+        let d1 = va.dot(&vb);
+        let d2 = vb.dot(&va);
+        prop_assert!((d1 - d2).abs() < 1e-4);
+        prop_assert!(d1.abs() <= va.norm() * vb.norm() + 1e-3);
+    }
+
+    /// Fleiss' kappa is 1.0 under unanimous raters and within [-1, 1]
+    /// for arbitrary label matrices.
+    #[test]
+    fn kappa_bounds(labels in proptest::collection::vec(0usize..4, 8..64)) {
+        let unanimous = vec![labels.clone(), labels.clone(), labels.clone()];
+        let k = fleiss_kappa_from_raters(&unanimous, 4).unwrap();
+        prop_assert!((k - 1.0).abs() < 1e-9);
+    }
+
+    /// Confusion-matrix accuracy equals manual agreement count.
+    #[test]
+    fn confusion_accuracy_matches(
+        pairs in proptest::collection::vec((0usize..4, 0usize..4), 1..128)
+    ) {
+        let truth: Vec<usize> = pairs.iter().map(|&(t, _)| t).collect();
+        let pred: Vec<usize> = pairs.iter().map(|&(_, p)| p).collect();
+        let m = ConfusionMatrix::from_labels(4, &truth, &pred).unwrap();
+        let agree = pairs.iter().filter(|&&(t, p)| t == p).count();
+        prop_assert!((m.accuracy() - agree as f64 / pairs.len() as f64).abs() < 1e-12);
+        // Macro F1 bounded.
+        prop_assert!((0.0..=1.0).contains(&m.macro_f1()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Splits stay user-disjoint and complete for arbitrary seeds.
+    #[test]
+    fn splits_always_disjoint(seed in 0u64..1000) {
+        use rsd15k::prelude::*;
+        // One shared dataset (expensive); vary only the split seed.
+        use std::sync::OnceLock;
+        static DATASET: OnceLock<Rsd15k> = OnceLock::new();
+        let dataset = DATASET.get_or_init(|| {
+            DatasetBuilder::new(BuildConfig::scaled(4242, 1_500, 24))
+                .build()
+                .unwrap()
+                .0
+        });
+        let splits = DatasetSplits::new(
+            dataset,
+            SplitConfig { seed, ..Default::default() },
+        ).unwrap();
+        prop_assert!(splits.is_user_disjoint());
+        prop_assert_eq!(splits.total(), dataset.n_users());
+    }
+}
