@@ -198,17 +198,17 @@ mod tests {
                 AnnotationOutcome::Uncertain => flagged += 1,
             }
         }
-        (
-            correct as f64 / labelled as f64,
-            flagged as f64 / n as f64,
-        )
+        (correct as f64 / labelled as f64, flagged as f64 / n as f64)
     }
 
     #[test]
     fn trained_annotator_near_target_accuracy() {
         let (acc, flag_rate) = accuracy_over(20_000, AnnotatorProfile::default(), 7);
         assert!(acc > 0.84 && acc < 0.95, "accuracy {acc}");
-        assert!(flag_rate > 0.02 && flag_rate < 0.14, "flag rate {flag_rate}");
+        assert!(
+            flag_rate > 0.02 && flag_rate < 0.14,
+            "flag rate {flag_rate}"
+        );
     }
 
     #[test]

@@ -193,6 +193,7 @@ impl Campaign {
         if items.is_empty() {
             return Err(RsdError::data("campaign: no items"));
         }
+        let _campaign_span = rsd_obs::Span::enter("annotation.campaign");
         let cfg = self.cfg.clone();
         let mut rng = stream_rng(cfg.seed, "campaign.driver");
 
@@ -207,8 +208,7 @@ impl Campaign {
         let mut annotators = Vec::with_capacity(cfg.n_annotators);
         let mut qualification = Vec::with_capacity(cfg.n_annotators);
         for a in 0..cfg.n_annotators {
-            let mut annotator =
-                SimulatedAnnotator::new(a, AnnotatorProfile::untrained(), cfg.seed);
+            let mut annotator = SimulatedAnnotator::new(a, AnnotatorProfile::untrained(), cfg.seed);
             let outcome = qualify(&mut annotator, &expert_set, &qual_cfg)?;
             qualification.push(outcome);
             annotators.push(annotator);
@@ -244,6 +244,7 @@ impl Campaign {
         let mut indiv_cursor = 0usize;
         let mut day = 0usize;
         while joint_cursor < joint_idx.len() || indiv_cursor < individual_idx.len() {
+            let _day_span = rsd_obs::Span::enter("annotation.campaign.day");
             let mut day_committed: Vec<(usize, RiskLevel)> = Vec::new(); // (item, label)
             let mut day_flagged = 0usize;
             let mut quota = vec![cfg.daily_quota; cfg.n_annotators];
@@ -262,9 +263,7 @@ impl Campaign {
                     let outcome = if cfg.uncertainty_policy {
                         annotator.annotate(posts[item], truth)
                     } else {
-                        AnnotationOutcome::Label(
-                            annotator.annotate_no_flagging(posts[item], truth),
-                        )
+                        AnnotationOutcome::Label(annotator.annotate_no_flagging(posts[item], truth))
                     };
                     match outcome {
                         AnnotationOutcome::Label(l) => {
@@ -279,13 +278,7 @@ impl Campaign {
                         }
                     }
                 }
-                joint_ratings.push(
-                    labels
-                        .iter()
-                        .flatten()
-                        .map(|l| l.index())
-                        .collect(),
-                );
+                joint_ratings.push(labels.iter().flatten().map(|l| l.index()).collect());
                 if labels.iter().all(Option::is_some) {
                     let committed: Vec<RiskLevel> =
                         labels.iter().map(|l| l.expect("checked")).collect();
@@ -295,8 +288,11 @@ impl Campaign {
                     for l in &committed {
                         counts[l.index()] += 1;
                     }
-                    let (best_idx, &best) =
-                        counts.iter().enumerate().max_by_key(|(_, &c)| c).expect("4");
+                    let (best_idx, &best) = counts
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, &c)| c)
+                        .expect("4");
                     if best * 2 > committed.len() {
                         let label = RiskLevel::from_index(best_idx)?;
                         final_labels[item] = Some((label, LabelSource::MajorityVote));
@@ -344,9 +340,7 @@ impl Campaign {
                 let outcome = if cfg.uncertainty_policy {
                     annotators[a].annotate(posts[item], truth)
                 } else {
-                    AnnotationOutcome::Label(
-                        annotators[a].annotate_no_flagging(posts[item], truth),
-                    )
+                    AnnotationOutcome::Label(annotators[a].annotate_no_flagging(posts[item], truth))
                 };
                 match outcome {
                     AnnotationOutcome::Label(l) => {
@@ -368,8 +362,7 @@ impl Campaign {
             }
 
             // ---- Daily inspection ------------------------------------------
-            let n_inspect =
-                ((day_committed.len() as f64) * cfg.inspection_rate).round() as usize;
+            let n_inspect = ((day_committed.len() as f64) * cfg.inspection_rate).round() as usize;
             let (inspected, correct) = if n_inspect > 0 {
                 let picks = sample_indices(&mut rng, day_committed.len(), n_inspect);
                 let mut correct = 0usize;
@@ -392,13 +385,23 @@ impl Campaign {
             } else {
                 1.0
             };
+            let passed = inspection_accuracy >= cfg.inspection_threshold;
+            rsd_obs::counter_add(
+                if passed {
+                    "annotation.inspection.passed"
+                } else {
+                    "annotation.inspection.failed"
+                },
+                1,
+            );
+            rsd_obs::counter_add("annotation.labels", day_committed.len() as u64);
             days.push(DayStats {
                 day,
                 labeled: day_committed.len(),
                 flagged: day_flagged,
                 inspected,
                 inspection_accuracy,
-                passed: inspection_accuracy >= cfg.inspection_threshold,
+                passed,
             });
             day += 1;
             if day > 10_000 {
@@ -443,6 +446,11 @@ impl Campaign {
                 source,
             });
         }
+
+        rsd_obs::counter_add("annotation.flags", flags_total as u64);
+        rsd_obs::counter_add("annotation.adjudicated", adjudicated as u64);
+        rsd_obs::counter_add("annotation.days", days.len() as u64);
+        rsd_obs::gauge("annotation.fleiss_kappa", fleiss);
 
         let report = CampaignReport {
             fleiss_kappa: fleiss,
@@ -581,7 +589,10 @@ mod tests {
         let failed = report.days.iter().filter(|d| !d.passed).count();
         assert!(failed <= 1, "{failed}/{} days failed", report.days.len());
         let (hits, total) = report.days.iter().fold((0.0, 0usize), |(h, t), d| {
-            (h + d.inspection_accuracy * d.inspected as f64, t + d.inspected)
+            (
+                h + d.inspection_accuracy * d.inspected as f64,
+                t + d.inspected,
+            )
         });
         let pooled = hits / total.max(1) as f64;
         assert!(pooled >= 0.85, "pooled inspection accuracy {pooled}");

@@ -16,13 +16,11 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use rsd_corpus::{PostId, RiskLevel};
 use rsd_common::{Result, RsdError};
+use rsd_corpus::{PostId, RiskLevel};
 
 /// Platform-local task identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct TaskId(pub u32);
 
@@ -374,7 +372,10 @@ mod tests {
         p.submit(ids[0], 0, RiskLevel::Ideation).unwrap();
         p.submit(ids[0], 1, RiskLevel::Ideation).unwrap();
         p.submit(ids[0], 2, RiskLevel::Behavior).unwrap();
-        assert_eq!(p.task(ids[0]).unwrap().final_label(), Some(RiskLevel::Ideation));
+        assert_eq!(
+            p.task(ids[0]).unwrap().final_label(),
+            Some(RiskLevel::Ideation)
+        );
         // Three-way split → no majority → adjudication.
         p.submit(ids[1], 0, RiskLevel::Indicator).unwrap();
         p.submit(ids[1], 1, RiskLevel::Ideation).unwrap();
@@ -382,7 +383,10 @@ mod tests {
         assert_eq!(p.task(ids[1]).unwrap().final_label(), None);
         p.adjudicate(ids[1], RiskLevel::Ideation).unwrap();
         assert_eq!(p.task(ids[1]).unwrap().state, TaskState::Adjudicated);
-        assert_eq!(p.task(ids[1]).unwrap().final_label(), Some(RiskLevel::Ideation));
+        assert_eq!(
+            p.task(ids[1]).unwrap().final_label(),
+            Some(RiskLevel::Ideation)
+        );
     }
 
     #[test]
@@ -394,7 +398,10 @@ mod tests {
         assert_eq!(p.task(ids[0]).unwrap().state, TaskState::Flagged);
         assert_eq!(p.tasks_in_state(TaskState::Flagged), vec![ids[0]]);
         p.adjudicate(ids[0], RiskLevel::Attempt).unwrap();
-        assert_eq!(p.task(ids[0]).unwrap().final_label(), Some(RiskLevel::Attempt));
+        assert_eq!(
+            p.task(ids[0]).unwrap().final_label(),
+            Some(RiskLevel::Attempt)
+        );
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //! simulated-API crawl (the machinery behind every table).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rsd_common::Timestamp;
 use rsd_corpus::reddit::CrawlClient;
 use rsd_corpus::{CorpusConfig, CorpusGenerator};
-use rsd_common::Timestamp;
 
 fn bench_generation(c: &mut Criterion) {
     c.bench_function("corpus/generate_500_users", |b| {

@@ -16,7 +16,15 @@ fn bench_boosting(c: &mut Criterion) {
     let labels: Vec<usize> = rows
         .iter()
         .map(|r| {
-            if r[0] > 0.3 { 0 } else if r[1] > 0.0 { 1 } else if r[2] > 0.0 { 2 } else { 3 }
+            if r[0] > 0.3 {
+                0
+            } else if r[1] > 0.0 {
+                1
+            } else if r[2] > 0.0 {
+                2
+            } else {
+                3
+            }
         })
         .collect();
     let matrix = BinnedMatrix::fit(rows, 64).unwrap();

@@ -17,7 +17,9 @@ fn input() -> Matrix {
     Matrix::from_vec(
         SEQ,
         DIM,
-        (0..SEQ * DIM).map(|i| ((i % 13) as f32) * 0.1 - 0.6).collect(),
+        (0..SEQ * DIM)
+            .map(|i| ((i % 13) as f32) * 0.1 - 0.6)
+            .collect(),
     )
 }
 
@@ -71,5 +73,10 @@ fn bench_lstm(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_absolute_attention, bench_disentangled_attention, bench_lstm);
+criterion_group!(
+    benches,
+    bench_absolute_attention,
+    bench_disentangled_attention,
+    bench_lstm
+);
 criterion_main!(benches);

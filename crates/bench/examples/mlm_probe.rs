@@ -15,15 +15,34 @@ fn main() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let mut store = ParamStore::new();
         let cfg = EncoderConfig {
-            vocab: enc.vocab.len(), dim: 48, layers: 2, heads: 4, ffn_dim: 96,
-            max_len: 56, dropout: 0.1, positions: PositionMode::Absolute,
+            vocab: enc.vocab.len(),
+            dim: 48,
+            layers: 2,
+            heads: 4,
+            ffn_dim: 96,
+            max_len: 56,
+            dropout: 0.1,
+            positions: PositionMode::Absolute,
         };
         let encoder = Encoder::new(&mut store, "e", cfg, &mut rng);
         let head = MlmHead::new(&mut store, "mlm", 48, enc.vocab.len(), &mut rng);
         print!("lr={lr} batch={batch}: ");
         for epoch in 0..6 {
-            let loss = mlm_pretrain(&encoder, &head, &mut store, &enc, &texts,
-                &PretrainConfig { epochs: 1, batch, lr, ..Default::default() }, 100 + epoch).unwrap();
+            let loss = mlm_pretrain(
+                &encoder,
+                &head,
+                &mut store,
+                &enc,
+                &texts,
+                &PretrainConfig {
+                    epochs: 1,
+                    batch,
+                    lr,
+                    ..Default::default()
+                },
+                100 + epoch,
+            )
+            .unwrap();
             print!("{loss:.3} ");
         }
         println!();

@@ -17,11 +17,16 @@ fn main() {
     let data = prepared.bench_data();
     let cfgs = table3_configs(prepared.scale);
 
-    println!("Ablations (scale {:?}, seed {})\n", prepared.scale, prepared.seed);
+    println!(
+        "Ablations (scale {:?}, seed {})\n",
+        prepared.scale, prepared.seed
+    );
 
     // 1. MLM pretraining.
     println!("== DeBERTa: MLM pretraining on unlabeled pool ==");
-    let with = PlmBaseline::new(cfgs.deberta.clone()).run(&data).expect("with mlm");
+    let with = PlmBaseline::new(cfgs.deberta.clone())
+        .run(&data)
+        .expect("with mlm");
     let mut no_mlm = cfgs.deberta.clone();
     no_mlm.pretrain_texts = 0;
     let without = PlmBaseline::new(no_mlm).run(&data).expect("no mlm");

@@ -1,10 +1,14 @@
 //! Export the built dataset as JSONL and CSV release artifacts (the form
-//! the real RSD-15K ships in), after running the §IV privacy audit.
+//! the real RSD-15K ships in), after running the §IV privacy audit. A
+//! `rsd15k.meta.json` sidecar records provenance plus the run's telemetry
+//! (per-stage timings, counters, throughput) under `run_report`.
 
-use rsd_bench::Prepared;
+use rsd_bench::{seed_from_env, Prepared, Scale};
 use rsd_dataset::{io, privacy};
+use rsd_obs::{Map, Value};
 
 fn main() {
+    let mut run = rsd_obs::RunReport::new("export", Scale::from_env().name(), seed_from_env());
     let prepared = Prepared::from_env();
     let audit = privacy::audit(&prepared.dataset);
     assert!(
@@ -16,9 +20,34 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("create export dir");
     let jsonl = format!("{dir}/rsd15k.jsonl");
     let csv = format!("{dir}/rsd15k.csv");
+    let meta = format!("{dir}/rsd15k.meta.json");
     io::save(&prepared.dataset, &jsonl).expect("write jsonl");
     let file = std::fs::File::create(&csv).expect("create csv");
     io::to_csv(&prepared.dataset, file).expect("write csv");
+
+    run.set("posts", Value::Int(prepared.dataset.n_posts() as i128))
+        .set("users", Value::Int(prepared.dataset.n_users() as i128))
+        .set(
+            "privacy_posts_scanned",
+            Value::Int(audit.posts_scanned as i128),
+        );
+    let mut meta_obj = Map::new();
+    meta_obj.insert("dataset", Value::from("rsd15k"));
+    meta_obj.insert("scale", Value::from(prepared.scale.name()));
+    meta_obj.insert("seed", Value::Int(prepared.seed as i128));
+    meta_obj.insert("files", {
+        let mut f = Map::new();
+        f.insert("jsonl", Value::from(jsonl.as_str()));
+        f.insert("csv", Value::from(csv.as_str()));
+        Value::Object(f)
+    });
+    meta_obj.insert("run_report", run.to_value());
+    std::fs::write(
+        &meta,
+        format!("{}\n", Value::Object(meta_obj).to_json_pretty()),
+    )
+    .expect("write meta json");
+
     println!(
         "exported {} posts / {} users (privacy audit: {} posts scanned, clean)",
         prepared.dataset.n_posts(),
@@ -27,4 +56,7 @@ fn main() {
     );
     println!("  {jsonl}");
     println!("  {csv}");
+    println!("  {meta}");
+    run.write().expect("write run report");
+    rsd_obs::flush();
 }

@@ -6,10 +6,15 @@ use rsd_dataset::stats::posts_per_user_histogram;
 fn main() {
     let prepared = Prepared::from_env();
     let hist = posts_per_user_histogram(&prepared.dataset, 60);
-    println!("Fig. 1 — Distribution of Posts per User (scale {:?})", prepared.scale);
+    println!(
+        "Fig. 1 — Distribution of Posts per User (scale {:?})",
+        prepared.scale
+    );
     let max = hist.counts.iter().copied().max().unwrap_or(1).max(1);
     for ((lo, hi), count) in hist.bucket_ranges().iter().zip(&hist.counts) {
-        if *count == 0 { continue; }
+        if *count == 0 {
+            continue;
+        }
         let bar = "#".repeat((count * 50 / max) as usize);
         let label = if hi.is_infinite() {
             format!("{:>3}+", lo)

@@ -14,7 +14,10 @@ fn main() {
         let mut bar = String::new();
         let glyphs = ['I', 'D', 'B', 'A'];
         for level in RiskLevel::ALL {
-            bar.extend(std::iter::repeat_n(glyphs[level.index()], p.class_counts[level.index()]));
+            bar.extend(std::iter::repeat_n(
+                glyphs[level.index()],
+                p.class_counts[level.index()],
+            ));
         }
         println!("user #{:<2} ({:>3} posts) | {bar}", rank + 1, p.total);
     }

@@ -1,34 +1,64 @@
 //! §II-C1: annotation consistency — Fleiss' kappa over the triple-annotated
 //! subset, plus the campaign audit trail.
 
-use rsd_bench::Prepared;
+use rsd_bench::{seed_from_env, Prepared, Scale};
 use rsd_eval::kappa::interpret_kappa;
+use rsd_obs::Value;
 
 fn main() {
+    let mut run = rsd_obs::RunReport::new("kappa", Scale::from_env().name(), seed_from_env());
     let prepared = Prepared::from_env();
     let c = &prepared.report.campaign;
-    println!("Annotation consistency audit (scale {:?}, seed {})", prepared.scale, prepared.seed);
+    println!(
+        "Annotation consistency audit (scale {:?}, seed {})",
+        prepared.scale, prepared.seed
+    );
     println!();
-    println!("jointly annotated subset : {} items ({} entered kappa)", c.joint_items, c.kappa_items);
+    println!(
+        "jointly annotated subset : {} items ({} entered kappa)",
+        c.joint_items, c.kappa_items
+    );
     println!("individually annotated   : {} items", c.individual_items);
-    println!("Fleiss' kappa            : {:.4} ({})", c.fleiss_kappa, interpret_kappa(c.fleiss_kappa));
-    println!("Krippendorff's alpha     : {:.4} (incl. partially-rated items)", c.krippendorff_alpha);
+    println!(
+        "Fleiss' kappa            : {:.4} ({})",
+        c.fleiss_kappa,
+        interpret_kappa(c.fleiss_kappa)
+    );
+    println!(
+        "Krippendorff's alpha     : {:.4} (incl. partially-rated items)",
+        c.krippendorff_alpha
+    );
     println!("paper reference          : 0.7206 over 4,384 samples");
     println!();
     println!("uncertainty flag rate    : {:.2}%", c.flag_rate * 100.0);
     println!("adjudicated items        : {}", c.adjudicated);
-    println!("final label accuracy     : {:.2}% (vs latent ground truth)", c.label_accuracy * 100.0);
+    println!(
+        "final label accuracy     : {:.2}% (vs latent ground truth)",
+        c.label_accuracy * 100.0
+    );
     println!();
-    println!("qualification rounds per annotator: {:?}",
-        c.qualification.iter().map(|q| q.rounds).collect::<Vec<_>>());
+    println!(
+        "qualification rounds per annotator: {:?}",
+        c.qualification.iter().map(|q| q.rounds).collect::<Vec<_>>()
+    );
     println!();
     println!("daily inspections (gate: >= 85%):");
     for day in &c.days {
         println!(
             "  day {:>2}: {:>5} labeled, {:>3} flagged, {:>3} inspected, accuracy {:>5.1}% [{}]",
-            day.day, day.labeled, day.flagged, day.inspected,
+            day.day,
+            day.labeled,
+            day.flagged,
+            day.inspected,
             day.inspection_accuracy * 100.0,
             if day.passed { "PASS" } else { "FAIL" }
         );
     }
+
+    run.set("fleiss_kappa", Value::Float(c.fleiss_kappa))
+        .set("krippendorff_alpha", Value::Float(c.krippendorff_alpha))
+        .set("adjudicated", Value::Int(c.adjudicated as i128))
+        .set("days", Value::Int(c.days.len() as i128));
+    run.write().expect("write run report");
+    rsd_obs::flush();
 }

@@ -1,18 +1,35 @@
 //! Table I: class distribution of the built dataset.
 
-use rsd_bench::Prepared;
+use rsd_bench::{seed_from_env, Prepared, Scale};
 use rsd_dataset::stats::class_distribution;
+use rsd_obs::Value;
 
 fn main() {
+    let mut run = rsd_obs::RunReport::new("table1", Scale::from_env().name(), seed_from_env());
     let prepared = Prepared::from_env();
-    println!("Table I — Data Distribution (scale {:?}, seed {})", prepared.scale, prepared.seed);
+    println!(
+        "Table I — Data Distribution (scale {:?}, seed {})",
+        prepared.scale, prepared.seed
+    );
     println!("{:<12} {:>8} {:>12}", "Category", "Count", "Percentage");
     println!("{}", "-".repeat(34));
-    for row in class_distribution(&prepared.dataset) {
-        println!("{:<12} {:>8} {:>11.2}%", row.category, row.count, row.percentage);
+    let rows = {
+        let _s = rsd_obs::Span::enter("bench.evaluate");
+        class_distribution(&prepared.dataset)
+    };
+    for row in rows {
+        println!(
+            "{:<12} {:>8} {:>11.2}%",
+            row.category, row.count, row.percentage
+        );
     }
     println!("{}", "-".repeat(34));
     println!("{:<12} {:>8}", "Total", prepared.dataset.n_posts());
     println!();
     println!("Paper reference: Attempt 809 (5.54%), Behavior 2056 (14.07%), Ideation 7133 (48.81%), Indicator 4615 (31.58%), total 14,613");
+
+    run.set("posts", Value::Int(prepared.dataset.n_posts() as i128))
+        .set("users", Value::Int(prepared.dataset.n_users() as i128));
+    run.write().expect("write run report");
+    rsd_obs::flush();
 }

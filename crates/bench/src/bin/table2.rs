@@ -6,7 +6,10 @@ use rsd_dataset::compare::{comparison_table, render_row};
 
 fn main() {
     let prepared = Prepared::from_env();
-    println!("Table II — Dataset Comparison (Ours computed at {:?} scale)", prepared.scale);
+    println!(
+        "Table II — Dataset Comparison (Ours computed at {:?} scale)",
+        prepared.scale
+    );
     let header = format!(
         "{:<48} {:<17} {:>8} {:>7}  {:<10} {:^4} {:^6} {:^5}",
         "Dataset", "Source", "Posts", "Users", "RiskLevel", "Fine", "Manual", "Avail"

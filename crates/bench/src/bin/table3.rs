@@ -8,10 +8,12 @@
 
 use std::time::Instant;
 
-use rsd_bench::{table3_configs, Prepared};
+use rsd_bench::{seed_from_env, table3_configs, Prepared, Scale};
 use rsd_models::{BiLstmBaseline, HiGruBaseline, PlmBaseline, XgboostBaseline};
+use rsd_obs::Value;
 
 fn main() {
+    let mut run = rsd_obs::RunReport::new("table3", Scale::from_env().name(), seed_from_env());
     let prepared = Prepared::from_env();
     let data = prepared.bench_data();
     let cfgs = table3_configs(prepared.scale);
@@ -36,7 +38,8 @@ fn main() {
     println!("{header}");
     println!("{}", "-".repeat(header.len()));
 
-    let print_outcome = |outcome: rsd_models::EvalOutcome, elapsed: std::time::Duration| {
+    let mut model_rows: Vec<Value> = Vec::new();
+    let mut print_outcome = |outcome: rsd_models::EvalOutcome, elapsed: std::time::Duration| {
         let r = &outcome.report;
         println!(
             "{:<10} {:>6.1} {:>7.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}   [{:.1?}]",
@@ -52,16 +55,27 @@ fn main() {
         for (k, v) in &outcome.extra {
             eprintln!("    {k} = {v}");
         }
-        let names: Vec<&str> = rsd_corpus::RiskLevel::ALL.iter().map(|l| l.name()).collect();
+        let names: Vec<&str> = rsd_corpus::RiskLevel::ALL
+            .iter()
+            .map(|l| l.name())
+            .collect();
         eprintln!(
             "{}",
             rsd_eval::report::render_confusion_grid(&outcome.confusion, &names)
         );
+        let mut row = rsd_obs::Map::new();
+        row.insert("model", Value::from(r.model.as_str()));
+        row.insert("accuracy", Value::Float(r.accuracy));
+        row.insert("macro_f1", Value::Float(r.macro_f1));
+        row.insert("elapsed_ms", Value::Float(elapsed.as_secs_f64() * 1e3));
+        model_rows.push(Value::Object(row));
     };
 
     if want("xgboost") {
         let t = Instant::now();
-        let outcome = XgboostBaseline::new(cfgs.xgboost).run(&data).expect("xgboost");
+        let outcome = XgboostBaseline::new(cfgs.xgboost)
+            .run(&data)
+            .expect("xgboost");
         print_outcome(outcome, t.elapsed());
     }
     if want("bilstm") {
@@ -90,4 +104,9 @@ fn main() {
         "Paper reference: XGBoost 42.5/25.3, BiLSTM 48.6/36.7, HiGRU 52.2/30.3, \
          RoBERTa 71.0/65.0, DeBERTa 76.0/77.0 (Acc%/MacF1%)"
     );
+
+    run.set("selected", Value::from(selected.as_str()))
+        .set("models", Value::Array(model_rows));
+    run.write().expect("write run report");
+    rsd_obs::flush();
 }

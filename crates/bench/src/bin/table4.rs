@@ -21,7 +21,10 @@ fn main() {
 
     let large = PlmConfig {
         pretrain_texts: pool,
-        pretrain: PretrainConfig { epochs: mlm_epochs, ..Default::default() },
+        pretrain: PretrainConfig {
+            epochs: mlm_epochs,
+            ..Default::default()
+        },
         train: TrainConfig {
             epochs: large_epochs,
             lr: 7e-4,
@@ -33,8 +36,16 @@ fn main() {
     };
     let base = PlmConfig {
         pretrain_texts: pool,
-        pretrain: PretrainConfig { epochs: mlm_epochs, ..Default::default() },
-        train: TrainConfig { epochs: base_epochs, lr: 8e-4, patience: 3, ..Default::default() },
+        pretrain: PretrainConfig {
+            epochs: mlm_epochs,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            epochs: base_epochs,
+            lr: 8e-4,
+            patience: 3,
+            ..Default::default()
+        },
         ..PlmConfig::base(PlmKind::Deberta)
     };
 

@@ -9,7 +9,10 @@ fn main() {
     let prepared = Prepared::from_env();
     let r = trajectory_report(&prepared.dataset);
 
-    println!("Risk-trajectory analysis (scale {:?}, seed {})\n", prepared.scale, prepared.seed);
+    println!(
+        "Risk-trajectory analysis (scale {:?}, seed {})\n",
+        prepared.scale, prepared.seed
+    );
     println!("transition probabilities (row = from, col = to):");
     println!("{:>11} {:>6} {:>6} {:>6} {:>6}", "", "IN", "ID", "BR", "AT");
     let probs = r.transitions.probabilities();
@@ -22,9 +25,21 @@ fn main() {
     }
     println!();
     println!("persistence (same level twice)    : {:.3}", r.persistence);
-    println!("escalation rate                   : {:.3}", r.escalation_rate);
+    println!(
+        "escalation rate                   : {:.3}",
+        r.escalation_rate
+    );
     println!("escalation events                 : {}", r.n_escalations);
-    println!("median days to escalation         : {:.1}", r.median_days_to_escalation);
-    println!("users with worsening trend        : {:.1}%", r.worsening_users * 100.0);
-    println!("users ever reaching BR/AT         : {:.1}%", r.users_reaching_high_risk * 100.0);
+    println!(
+        "median days to escalation         : {:.1}",
+        r.median_days_to_escalation
+    );
+    println!(
+        "users with worsening trend        : {:.1}%",
+        r.worsening_users * 100.0
+    );
+    println!(
+        "users ever reaching BR/AT         : {:.1}%",
+        r.users_reaching_high_risk * 100.0
+    );
 }

@@ -33,12 +33,22 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Read from `RSD_SCALE` (default `mid`).
+    /// Read from `RSD_SCALE` (default `mid`). `smoke` is an alias for
+    /// `small`, matching the CI invocation.
     pub fn from_env() -> Scale {
         match std::env::var("RSD_SCALE").as_deref() {
             Ok("paper") => Scale::Paper,
-            Ok("small") => Scale::Small,
+            Ok("small") | Ok("smoke") => Scale::Small,
             _ => Scale::Mid,
+        }
+    }
+
+    /// Stable lowercase name, used in report paths.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Mid => "mid",
+            Scale::Small => "small",
         }
     }
 
@@ -95,8 +105,15 @@ impl Prepared {
 
     /// Build at an explicit scale/seed.
     pub fn build(scale: Scale, seed: u64) -> Prepared {
+        let _prepare_span = rsd_obs::Span::enter("bench.prepare");
         let t0 = Instant::now();
-        eprintln!("[harness] building dataset at {scale:?} scale (seed {seed})...");
+        rsd_obs::event(
+            "bench.prepare.start",
+            &[
+                ("scale", rsd_obs::Value::from(scale.name())),
+                ("seed", rsd_obs::Value::Int(seed as i128)),
+            ],
+        );
         let (dataset, unlabeled, report) = DatasetBuilder::new(scale.build_config(seed))
             .build_with_pool()
             .expect("dataset build failed");
@@ -108,12 +125,17 @@ impl Prepared {
             },
         )
         .expect("split failed");
-        eprintln!(
-            "[harness] built: {} posts / {} users / {} unlabeled pool texts in {:.1?}",
-            dataset.n_posts(),
-            dataset.n_users(),
-            unlabeled.len(),
-            t0.elapsed()
+        rsd_obs::event(
+            "bench.prepare.done",
+            &[
+                ("posts", rsd_obs::Value::Int(dataset.n_posts() as i128)),
+                ("users", rsd_obs::Value::Int(dataset.n_users() as i128)),
+                ("unlabeled", rsd_obs::Value::Int(unlabeled.len() as i128)),
+                (
+                    "elapsed_ms",
+                    rsd_obs::Value::Float(t0.elapsed().as_secs_f64() * 1e3),
+                ),
+            ],
         );
         Prepared {
             dataset,

@@ -114,10 +114,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            RsdError::data("x"),
-            RsdError::InvalidData("x".to_string())
-        );
+        assert_eq!(RsdError::data("x"), RsdError::InvalidData("x".to_string()));
         assert_ne!(RsdError::data("x"), RsdError::data("y"));
     }
 }

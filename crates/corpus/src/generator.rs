@@ -77,10 +77,7 @@ impl CorpusConfig {
             return Err(RsdError::config("n_users", "must be positive"));
         }
         if self.window_end <= self.window_start {
-            return Err(RsdError::config(
-                "window_end",
-                "must be after window_start",
-            ));
+            return Err(RsdError::config("window_end", "must be after window_start"));
         }
         if !(0.0..1.0).contains(&self.off_topic_rate) {
             return Err(RsdError::config("off_topic_rate", "must be in [0, 1)"));
@@ -175,6 +172,8 @@ impl CorpusGenerator {
 
     /// Generate the full raw corpus deterministically.
     pub fn generate(&self) -> RawCorpus {
+        let _span = rsd_obs::Span::enter("corpus.generate");
+        let started = rsd_obs::enabled().then(std::time::Instant::now);
         let cfg = &self.cfg;
         let mut users = Vec::with_capacity(cfg.n_users);
         let mut posts: Vec<RawPost> = Vec::new();
@@ -213,8 +212,7 @@ impl CorpusGenerator {
                 };
                 levels.push(level);
                 times.push(created);
-                let gap_secs =
-                    exponential(&mut rng, traj.mean_gap_days() * Timestamp::DAY as f64);
+                let gap_secs = exponential(&mut rng, traj.mean_gap_days() * Timestamp::DAY as f64);
                 t = Timestamp(created + gap_secs.max(60.0) as i64);
             }
 
@@ -252,6 +250,13 @@ impl CorpusGenerator {
             });
         }
 
+        rsd_obs::counter_add("corpus.users", users.len() as u64);
+        rsd_obs::counter_add("corpus.posts", posts.len() as u64);
+        if let Some(started) = started {
+            let secs = started.elapsed().as_secs_f64().max(1e-9);
+            rsd_obs::gauge("corpus.users_per_sec", users.len() as f64 / secs);
+            rsd_obs::gauge("corpus.posts_per_sec", posts.len() as f64 / secs);
+        }
         RawCorpus { users, posts }
     }
 
@@ -260,8 +265,7 @@ impl CorpusGenerator {
     fn sample_start_time(&self, rng: &mut StdRng, n_posts: usize, traj: &Trajectory) -> Timestamp {
         let cfg = &self.cfg;
         let window = (cfg.window_end.0 - cfg.window_start.0) as f64;
-        let expected_span =
-            (n_posts as f64 - 1.0) * traj.mean_gap_days() * Timestamp::DAY as f64;
+        let expected_span = (n_posts as f64 - 1.0) * traj.mean_gap_days() * Timestamp::DAY as f64;
         let slack = (window - expected_span).max(window * 0.05);
         let offset = rng.gen::<f64>() * slack;
         Timestamp(cfg.window_start.0 + offset as i64)

@@ -179,28 +179,54 @@ pub const FILLERS: &[&str] = &[
 /// hard for bag-of-words models (the paper's XGBoost sits at 42.5 %
 /// accuracy while context models reach 76 %).
 pub const CAMOUFLAGE_FRAMES: &[Frame] = &[
-    &[Lit("my"), Relation, Lit("called to check on me again today")],
-    &[Lit("i had lunch with my"), Relation, Lit("and barely said a word")],
-    &[Lit("my"), Relation, Lit("keeps asking what is wrong and i say nothing")],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("called to check on me again today"),
+    ],
+    &[
+        Lit("i had lunch with my"),
+        Relation,
+        Lit("and barely said a word"),
+    ],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("keeps asking what is wrong and i say nothing"),
+    ],
     &[Lit("i want this week to be over already")],
     &[Lit("i do not even want to get out of bed most days")],
     &[Lit("i tried studying for finals but nothing sticks")],
     &[Lit("i took a long walk around the block to clear my head")],
     &[Lit("i found my old sketchbooks while cleaning my room")],
     &[Lit("i never answer the phone anymore")],
-    &[Lit("my"), Relation, Lit("survived another round of layoffs at work")],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("survived another round of layoffs at work"),
+    ],
     &[Lit("i bought groceries for the first time in two weeks")],
     &[Lit("i woke up at noon again and hated myself for it")],
     &[Lit("the pharmacy messed up my meds refill again")],
     &[Lit("i keep a list of chores i never start")],
     &[Lit("i wrote three emails today and sent none")],
-    &[Lit("my"), Relation, Lit("is in town"), TimeRef, Lit("and i have to pretend")],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("is in town"),
+        TimeRef,
+        Lit("and i have to pretend"),
+    ],
     &[Lit("i am not hungry lately just tired")],
     &[Lit("i drove past my old school"), TimeRef],
     &[Lit("crossing the bridge on my commute felt endless today")],
     &[Lit("i gave away some old clothes to the charity shop")],
     &[Lit("i stood in line at the hospital pharmacy for an hour")],
-    &[Lit("my"), Relation, Lit("left a note on the fridge about rent")],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("left a note on the fridge about rent"),
+    ],
     &[Lit("i keep the curtains drawn all day"), TimeRef],
     &[Lit("i attempted the assignment three times and gave up")],
     &[Lit("i just want to sleep for a week straight")],
@@ -209,8 +235,16 @@ pub const CAMOUFLAGE_FRAMES: &[Frame] = &[
     &[Lit("i keep thinking about quitting my job")],
     &[Lit("i think i failed the midterm"), TimeRef],
     &[Lit("i keep thinking about moving back home")],
-    &[Lit("my"), Relation, Lit("wants me to see someone but i keep canceling")],
-    &[Lit("my"), Relation, Lit("keeps sending me job listings i ignore")],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("wants me to see someone but i keep canceling"),
+    ],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("keeps sending me job listings i ignore"),
+    ],
 ];
 
 /// Off-topic sentences: content unrelated to the suicide-risk theme that
@@ -241,21 +275,51 @@ pub const OFF_TOPIC_SENTENCES: &[&str] = &[
 /// a completed act.
 pub const IDEATION_FRAMES: &[Frame] = &[
     &[Lit("i want to"), EndVerb],
-    &[Lit("i keep thinking about how easy it would be to"), EndVerb],
+    &[
+        Lit("i keep thinking about how easy it would be to"),
+        EndVerb,
+    ],
     &[Lit("i wish i could just"), EndVerb],
     &[Lit("lately i daydream about ways to"), EndVerb],
-    &[Lit("some days i really want to"), EndVerb, Lit("and it scares me")],
+    &[
+        Lit("some days i really want to"),
+        EndVerb,
+        Lit("and it scares me"),
+    ],
     &[Lit("i feel"), Feeling, Lit("and i want to"), EndVerb],
-    &[Lit("thinking about"), LifeTopic, Lit("makes me ready to"), EndVerb],
+    &[
+        Lit("thinking about"),
+        LifeTopic,
+        Lit("makes me ready to"),
+        EndVerb,
+    ],
     &[Lit("i do not have a plan but i want to"), EndVerb],
-    &[Lit("my"), Relation, Lit("keeps checking on me but i still plan to"), EndVerb],
-    &[Lit("i told my"), Relation, Lit("i was fine but honestly i want to"), EndVerb],
-    &[Lit("i keep imagining taking"), Means, Lit("but i have not done anything")],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("keeps checking on me but i still plan to"),
+        EndVerb,
+    ],
+    &[
+        Lit("i told my"),
+        Relation,
+        Lit("i was fine but honestly i want to"),
+        EndVerb,
+    ],
+    &[
+        Lit("i keep imagining taking"),
+        Means,
+        Lit("but i have not done anything"),
+    ],
     &[Lit("i think about the bridge every time we drive over it")],
-    &[Lit("i keep drafting the note in my head but i never write it")],
+    &[Lit(
+        "i keep drafting the note in my head but i never write it",
+    )],
     &[Lit("i have not tried anything yet but i am scared i will")],
     &[Lit("i woke up angry that i am still here again")],
-    &[Lit("i keep imagining the hospital and wondering if anyone would even visit")],
+    &[Lit(
+        "i keep imagining the hospital and wondering if anyone would even visit",
+    )],
 ];
 
 /// Behavior frames: preparatory acts, acquiring means, self-harm — all
@@ -268,36 +332,101 @@ pub const BEHAVIOR_FRAMES: &[Frame] = &[
     &[Lit("i keep"), Means, Lit("in my drawer just in case")],
     &[Lit("i started hurting myself again"), TimeRef],
     &[Lit("i have been cutting again and hiding the scars")],
-    &[Lit("i stood on the bridge for an hour"), TimeRef, Lit("before walking home")],
+    &[
+        Lit("i stood on the bridge for an hour"),
+        TimeRef,
+        Lit("before walking home"),
+    ],
     &[Lit("i picked a date and i"), PrepAct],
-    &[Lit("i never told my"), Relation, Lit("that i bought"), Means],
-    &[Lit("my"), Relation, Lit("almost found"), Means, Lit("hidden in my room")],
+    &[
+        Lit("i never told my"),
+        Relation,
+        Lit("that i bought"),
+        Means,
+    ],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("almost found"),
+        Means,
+        Lit("hidden in my room"),
+    ],
     &[Lit("i am not going to talk about it i just"), PrepAct],
     &[Lit("i wrote the note and put it under my pillow")],
-    &[Lit("i sat in the hospital parking lot"), TimeRef, Lit("trying to decide")],
-    &[Lit("i took out"), Means, Lit("again and counted everything twice")],
-    &[Lit("i drove out to the bridge again with"), Means, Lit("in the car")],
+    &[
+        Lit("i sat in the hospital parking lot"),
+        TimeRef,
+        Lit("trying to decide"),
+    ],
+    &[
+        Lit("i took out"),
+        Means,
+        Lit("again and counted everything twice"),
+    ],
+    &[
+        Lit("i drove out to the bridge again with"),
+        Means,
+        Lit("in the car"),
+    ],
 ];
 
 /// Attempt frames: a completed (survived) past attempt; past tense and
 /// aftermath vocabulary, again deliberately overlapping the other banks.
 pub const ATTEMPT_FRAMES: &[Frame] = &[
-    &[TimeRef, Lit("i tried to"), EndVerb, Lit("and i am still here")],
+    &[
+        TimeRef,
+        Lit("i tried to"),
+        EndVerb,
+        Lit("and i am still here"),
+    ],
     &[Lit("i survived my attempt"), TimeRef],
-    &[Lit("i took"), Means, TimeRef, Lit("but i woke up in the hospital")],
-    &[Lit("this is my second time in the er after trying to"), EndVerb],
+    &[
+        Lit("i took"),
+        Means,
+        TimeRef,
+        Lit("but i woke up in the hospital"),
+    ],
+    &[
+        Lit("this is my second time in the er after trying to"),
+        EndVerb,
+    ],
     &[TimeRef, Lit("i attempted and my roommate found me")],
-    &[Lit("after my attempt"), TimeRef, Lit("everything feels different")],
-    &[Lit("i tried once"), TimeRef, Lit("and i think about trying again")],
+    &[
+        Lit("after my attempt"),
+        TimeRef,
+        Lit("everything feels different"),
+    ],
+    &[
+        Lit("i tried once"),
+        TimeRef,
+        Lit("and i think about trying again"),
+    ],
     &[Lit("the doctors said i was lucky after i took"), Means],
     &[Lit("i woke up disappointed that it did not work")],
-    &[Lit("my attempt"), TimeRef, Lit("left scars i hide every day")],
-    &[Lit("i never told anyone that"), TimeRef, Lit("i tried to"), EndVerb],
+    &[
+        Lit("my attempt"),
+        TimeRef,
+        Lit("left scars i hide every day"),
+    ],
+    &[
+        Lit("i never told anyone that"),
+        TimeRef,
+        Lit("i tried to"),
+        EndVerb,
+    ],
     &[Lit("my"), Relation, Lit("found me after i took"), Means],
     &[Lit("i am not proud of it but"), TimeRef, Lit("i attempted")],
-    &[Lit("they found the note i left"), TimeRef, Lit("after i tried")],
+    &[
+        Lit("they found the note i left"),
+        TimeRef,
+        Lit("after i tried"),
+    ],
     &[Lit("i still have the bottle from the night i tried")],
-    &[Lit("i wrote a note said my goodbyes and took"), Means, TimeRef],
+    &[
+        Lit("i wrote a note said my goodbyes and took"),
+        Means,
+        TimeRef,
+    ],
 ];
 
 /// Indicator frames: third-party, negation, denial, concern — the class
@@ -305,21 +434,79 @@ pub const ATTEMPT_FRAMES: &[Frame] = &[
 /// classes ("tried", "bought", "survived", "hospital", "note", "scars",
 /// "bridge", "drawer"); only the perspective/role resolves the label.
 pub const INDICATOR_FRAMES: &[Frame] = &[
-    &[Lit("my"), Relation, Lit("tried to"), EndVerb, TimeRef, Lit("and i do not know how to help")],
-    &[Lit("my"), Relation, Lit("keeps talking about wanting to"), EndVerb],
-    &[Lit("asking for a friend who wants to"), EndVerb, Lit("what do i say")],
-    &[Lit("i would never"), EndVerb, Lit("but i understand why people think about it")],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("tried to"),
+        EndVerb,
+        TimeRef,
+        Lit("and i do not know how to help"),
+    ],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("keeps talking about wanting to"),
+        EndVerb,
+    ],
+    &[
+        Lit("asking for a friend who wants to"),
+        EndVerb,
+        Lit("what do i say"),
+    ],
+    &[
+        Lit("i would never"),
+        EndVerb,
+        Lit("but i understand why people think about it"),
+    ],
     &[Lit("to be clear i am not suicidal just"), Feeling],
     &[Lit("i am worried my"), Relation, Lit("bought"), Means],
-    &[Lit("my"), Relation, Lit("survived an attempt"), TimeRef, Lit("and i feel so lost")],
-    &[Lit("i do not want to"), EndVerb, Lit("i just want"), LifeTopic, Lit("to stop hurting")],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("survived an attempt"),
+        TimeRef,
+        Lit("and i feel so lost"),
+    ],
+    &[
+        Lit("i do not want to"),
+        EndVerb,
+        Lit("i just want"),
+        LifeTopic,
+        Lit("to stop hurting"),
+    ],
     &[Lit("i am safe i promise but i feel"), Feeling],
-    &[Lit("i found"), Means, Lit("in my"), Relation, Lit("drawer and i am terrified")],
-    &[Lit("my"), Relation, Lit("is in the hospital after an attempt"), TimeRef],
+    &[
+        Lit("i found"),
+        Means,
+        Lit("in my"),
+        Relation,
+        Lit("drawer and i am terrified"),
+    ],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("is in the hospital after an attempt"),
+        TimeRef,
+    ],
     &[Lit("i saw fresh scars on my"), Relation, Lit("arms again")],
-    &[Lit("my"), Relation, Lit("wrote a note"), TimeRef, Lit("and we found it in time")],
-    &[Lit("i took my"), Relation, Lit("to the er after they tried to"), EndVerb],
-    &[Lit("my"), Relation, Lit("keeps standing on the bridge and i am scared for them")],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("wrote a note"),
+        TimeRef,
+        Lit("and we found it in time"),
+    ],
+    &[
+        Lit("i took my"),
+        Relation,
+        Lit("to the er after they tried to"),
+        EndVerb,
+    ],
+    &[
+        Lit("my"),
+        Relation,
+        Lit("keeps standing on the bridge and i am scared for them"),
+    ],
     &[Lit("how do i support someone who keeps cutting")],
 ];
 
@@ -374,7 +561,9 @@ mod tests {
 
     #[test]
     fn slot_fillers_nonempty_for_open_slots() {
-        for slot in [Means, EndVerb, Feeling, Relation, TimeRef, LifeTopic, PrepAct, Filler] {
+        for slot in [
+            Means, EndVerb, Feeling, Relation, TimeRef, LifeTopic, PrepAct, Filler,
+        ] {
             assert!(!slot_fillers(slot).is_empty());
         }
         assert!(slot_fillers(Lit("x")).is_empty());
@@ -414,8 +603,18 @@ mod tests {
             .collect::<Vec<_>>()
             .join(" ");
         for word in [
-            "want", "tried", "took", "found", "bought", "survived", "bridge",
-            "hospital", "woke", "note", "gave away", "attempted",
+            "want",
+            "tried",
+            "took",
+            "found",
+            "bought",
+            "survived",
+            "bridge",
+            "hospital",
+            "woke",
+            "note",
+            "gave away",
+            "attempted",
         ] {
             assert!(
                 all_text.contains(word),

@@ -47,8 +47,7 @@ impl Subreddit {
     /// Bulk-load posts; sorts them into listing order.
     pub fn ingest(&mut self, mut posts: Vec<RawPost>) {
         self.posts.append(&mut posts);
-        self.posts
-            .sort_by_key(|p| (p.created, p.id));
+        self.posts.sort_by_key(|p| (p.created, p.id));
     }
 
     /// Number of posts stored.
@@ -67,11 +66,7 @@ impl Subreddit {
         let start = match after {
             None => 0,
             Some(cursor) => {
-                match self
-                    .posts
-                    .iter()
-                    .position(|p| p.id == cursor)
-                {
+                match self.posts.iter().position(|p| p.id == cursor) {
                     Some(idx) => idx + 1,
                     None => self.posts.len(), // stale cursor: empty page
                 }

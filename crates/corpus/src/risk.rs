@@ -23,9 +23,7 @@ use std::str::FromStr;
 use rsd_common::RsdError;
 
 /// One of the four RSD-15K risk levels, ordered by clinical severity.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum RiskLevel {
     /// No suicidal risk expressed by the author (abbreviated **IN**).
     Indicator,
@@ -141,9 +139,15 @@ mod tests {
 
     #[test]
     fn parse_all_spellings() {
-        assert_eq!("Indicator".parse::<RiskLevel>().unwrap(), RiskLevel::Indicator);
+        assert_eq!(
+            "Indicator".parse::<RiskLevel>().unwrap(),
+            RiskLevel::Indicator
+        );
         assert_eq!("ID".parse::<RiskLevel>().unwrap(), RiskLevel::Ideation);
-        assert_eq!("behaviour".parse::<RiskLevel>().unwrap(), RiskLevel::Behavior);
+        assert_eq!(
+            "behaviour".parse::<RiskLevel>().unwrap(),
+            RiskLevel::Behavior
+        );
         assert_eq!(" at ".parse::<RiskLevel>().unwrap(), RiskLevel::Attempt);
         assert!("severe".parse::<RiskLevel>().is_err());
     }

@@ -216,8 +216,7 @@ mod tests {
         let cfg = SelectionConfig::scaled(12, 100);
         let picked = select_users_for_annotation(&corpus.users, &cfg).unwrap();
         let pool_mean = corpus.posts.len() as f64 / corpus.users.len() as f64;
-        let sel_mean =
-            selected_post_total(&corpus.users, &picked) as f64 / picked.len() as f64;
+        let sel_mean = selected_post_total(&corpus.users, &picked) as f64 / picked.len() as f64;
         assert!(
             sel_mean > pool_mean * 2.0,
             "selection must favour active users (pool {pool_mean:.2}, selected {sel_mean:.2})"

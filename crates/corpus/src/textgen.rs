@@ -14,7 +14,14 @@ use crate::risk::RiskLevel;
 
 /// Hedge words randomly prefixed to sentences (surface diversity).
 const HEDGES: &[&str] = &[
-    "honestly", "maybe", "i guess", "idk", "tbh", "somehow", "lately", "again tonight",
+    "honestly",
+    "maybe",
+    "i guess",
+    "idk",
+    "tbh",
+    "somehow",
+    "lately",
+    "again tonight",
 ];
 
 /// Word-level paraphrase map applied stochastically after rendering. The

@@ -14,16 +14,12 @@ use crate::risk::RiskLevel;
 use rsd_common::Timestamp;
 
 /// Opaque, pseudonymous user identifier (dense index into the corpus).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct UserId(pub u32);
 
 /// Opaque post identifier (dense index into the corpus, in crawl order).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct PostId(pub u32);
 

@@ -112,6 +112,7 @@ impl DatasetBuilder {
     /// baselines pretrain on (the paper's crawl minus its annotated
     /// subset).
     pub fn build_with_pool(&self) -> Result<(Rsd15k, Vec<String>, BuildReport)> {
+        let _build_span = rsd_obs::Span::enter("dataset.build");
         let cfg = &self.cfg;
 
         // 1. Raw pool.
@@ -122,6 +123,7 @@ impl DatasetBuilder {
 
         // 2. Crawl through the simulated API (downstream stages consume the
         //    crawl output, not generator internals).
+        let crawl_span = rsd_obs::Span::enter("dataset.build.crawl");
         let store = raw.into_store();
         let mut client = CrawlClient::new(&store);
         let crawled = client.crawl_window(
@@ -130,6 +132,7 @@ impl DatasetBuilder {
             cfg.corpus.window_end,
         )?;
         let crawl_stats = client.stats();
+        drop(crawl_span);
 
         // 3. Preprocess.
         let bodies: Vec<String> = crawled.iter().map(|p| p.body.clone()).collect();
@@ -159,6 +162,7 @@ impl DatasetBuilder {
         cleaned_users.sort_by_key(|u| u.id);
 
         // 4. Select the annotation pool.
+        let select_span = rsd_obs::Span::enter("dataset.build.select");
         let picked = select_users_for_annotation(&cleaned_users, &cfg.selection)?;
         let picked_set: std::collections::HashSet<UserId> = picked.iter().copied().collect();
 
@@ -176,6 +180,7 @@ impl DatasetBuilder {
             .filter(|(post, _)| !picked_set.contains(&post.author))
             .map(|(_, cleaned)| cleaned.to_string())
             .collect();
+        drop(select_span);
 
         // 5. Annotate: the campaign sees (post id, latent truth) pairs.
         let items: Vec<_> = pool
@@ -187,6 +192,7 @@ impl DatasetBuilder {
 
         // 6. Assemble, re-densifying user and post ids so published ids
         //    carry no information about the raw pool (privacy posture).
+        let assemble_span = rsd_obs::Span::enter("dataset.build.assemble");
         let mut posts = Vec::with_capacity(pool.len());
         let mut timelines: HashMap<UserId, Vec<usize>> = HashMap::new();
         let mut user_remap: HashMap<UserId, UserId> = HashMap::new();
@@ -224,6 +230,7 @@ impl DatasetBuilder {
             seed: cfg.seed,
         };
         dataset.validate()?;
+        drop(assemble_span);
 
         let report = BuildReport {
             raw_posts,

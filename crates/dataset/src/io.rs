@@ -72,8 +72,7 @@ pub fn from_jsonl<R: BufRead>(reader: R) -> Result<Rsd15k> {
         if line.trim().is_empty() {
             continue;
         }
-        let post: Post =
-            serde_json::from_str(&line).map_err(|e| RsdError::Serde(e.to_string()))?;
+        let post: Post = serde_json::from_str(&line).map_err(|e| RsdError::Serde(e.to_string()))?;
         posts.push(post);
     }
     if posts.len() != header.n_posts {
@@ -160,7 +159,11 @@ mod tests {
         to_jsonl(&d, &mut buf).unwrap();
         // Drop the last line.
         let text = String::from_utf8(buf).unwrap();
-        let truncated: String = text.lines().take(d.posts.len()).collect::<Vec<_>>().join("\n");
+        let truncated: String = text
+            .lines()
+            .take(d.posts.len())
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(from_jsonl(truncated.as_bytes()).is_err());
     }
 

@@ -70,7 +70,10 @@ impl DatasetSplits {
     /// Create splits from a dataset.
     pub fn new(dataset: &Rsd15k, cfg: SplitConfig) -> Result<Self> {
         if !(0.0..1.0).contains(&cfg.train) || !(0.0..1.0).contains(&cfg.valid) {
-            return Err(RsdError::config("train/valid", "fractions must be in [0,1)"));
+            return Err(RsdError::config(
+                "train/valid",
+                "fractions must be in [0,1)",
+            ));
         }
         if cfg.train + cfg.valid >= 1.0 {
             return Err(RsdError::config(
@@ -334,8 +337,7 @@ mod tests {
         for (k, w) in ws.iter().enumerate() {
             assert_eq!(*w.post_indices.last().unwrap(), d.users[0].post_indices[k]);
             assert_eq!(
-                w.label,
-                d.posts[d.users[0].post_indices[k]].label,
+                w.label, d.posts[d.users[0].post_indices[k]].label,
                 "window {k} label"
             );
             assert!(w.post_indices.len() <= 5);

@@ -77,10 +77,8 @@ pub fn class_word_frequencies(
             }
         }
     }
-    let mut entries: Vec<(String, usize)> = freq
-        .into_iter()
-        .map(|(t, c)| (t.to_string(), c))
-        .collect();
+    let mut entries: Vec<(String, usize)> =
+        freq.into_iter().map(|(t, c)| (t.to_string(), c)).collect();
     entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     entries.truncate(top_k);
     entries

@@ -147,14 +147,8 @@ pub fn user_trajectories(dataset: &Rsd15k) -> Vec<UserTrajectory> {
                 .iter()
                 .map(|&i| dataset.posts[i].label.index() as f64)
                 .collect();
-            let peak_idx = severities
-                .iter()
-                .copied()
-                .fold(0.0f64, f64::max) as usize;
-            let escalations = severities
-                .windows(2)
-                .filter(|w| w[1] > w[0])
-                .count();
+            let peak_idx = severities.iter().copied().fold(0.0f64, f64::max) as usize;
+            let escalations = severities.windows(2).filter(|w| w[1] > w[0]).count();
             UserTrajectory {
                 user: user.id,
                 posts: user.post_indices.len(),
@@ -226,9 +220,18 @@ mod tests {
         let d = tiny();
         let m = TransitionMatrix::from_dataset(&d);
         assert_eq!(m.total(), 3);
-        assert_eq!(m.counts[RiskLevel::Indicator.index()][RiskLevel::Ideation.index()], 1);
-        assert_eq!(m.counts[RiskLevel::Ideation.index()][RiskLevel::Ideation.index()], 1);
-        assert_eq!(m.counts[RiskLevel::Behavior.index()][RiskLevel::Attempt.index()], 1);
+        assert_eq!(
+            m.counts[RiskLevel::Indicator.index()][RiskLevel::Ideation.index()],
+            1
+        );
+        assert_eq!(
+            m.counts[RiskLevel::Ideation.index()][RiskLevel::Ideation.index()],
+            1
+        );
+        assert_eq!(
+            m.counts[RiskLevel::Behavior.index()][RiskLevel::Attempt.index()],
+            1
+        );
         assert!((m.escalation_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert!((m.persistence() - 1.0 / 3.0).abs() < 1e-12);
     }

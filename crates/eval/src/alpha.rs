@@ -53,7 +53,11 @@ pub fn krippendorff_alpha(items: &[Vec<usize>], n_categories: usize) -> Result<f
 
     let n_total: f64 = coincidence.iter().sum();
     let marginals: Vec<f64> = (0..n_categories)
-        .map(|c| (0..n_categories).map(|k| coincidence[c * n_categories + k]).sum())
+        .map(|c| {
+            (0..n_categories)
+                .map(|k| coincidence[c * n_categories + k])
+                .sum()
+        })
         .collect();
 
     let observed_agreement: f64 = (0..n_categories)
@@ -61,11 +65,8 @@ pub fn krippendorff_alpha(items: &[Vec<usize>], n_categories: usize) -> Result<f
         .sum();
     let d_o = 1.0 - observed_agreement / n_total;
 
-    let expected_agreement: f64 = marginals
-        .iter()
-        .map(|&m| m * (m - 1.0))
-        .sum::<f64>()
-        / (n_total * (n_total - 1.0));
+    let expected_agreement: f64 =
+        marginals.iter().map(|&m| m * (m - 1.0)).sum::<f64>() / (n_total * (n_total - 1.0));
     let d_e = 1.0 - expected_agreement;
 
     if d_e.abs() < 1e-12 {
@@ -118,14 +119,14 @@ mod tests {
         // Krippendorff (2011) nominal example (values a..e mapped to 0..4):
         // units with ratings from up to 4 observers; published α ≈ 0.743.
         let items: Vec<Vec<usize>> = vec![
-            vec![0, 0, 0],       // unit 2: a,a,a
-            vec![1, 1, 1],       // unit 3: b,b,b
-            vec![1, 1, 1],       // unit 4: b,b,b
-            vec![1, 1, 1],       // unit 5: b,b,b
-            vec![1, 1, 1],       // unit 6: b,b,b
-            vec![2, 2, 2],       // ...
+            vec![0, 0, 0], // unit 2: a,a,a
+            vec![1, 1, 1], // unit 3: b,b,b
+            vec![1, 1, 1], // unit 4: b,b,b
+            vec![1, 1, 1], // unit 5: b,b,b
+            vec![1, 1, 1], // unit 6: b,b,b
+            vec![2, 2, 2], // ...
             vec![3, 3, 3],
-            vec![0, 0, 1],       // one disagreement
+            vec![0, 0, 1], // one disagreement
             vec![1, 1, 1],
             vec![4, 4, 4],
             vec![0, 0, 0],

@@ -9,9 +9,9 @@
 use serde::{Deserialize, Serialize};
 
 use crate::confusion::ConfusionMatrix;
+use rand::Rng;
 use rsd_common::rng::stream_rng;
 use rsd_common::{Result, RsdError};
-use rand::Rng;
 
 /// A percentile-bootstrap interval for one metric.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -86,10 +86,7 @@ pub fn bootstrap_metrics(
             level,
         }
     };
-    Ok((
-        make(accs, full.accuracy()),
-        make(f1s, full.macro_f1()),
-    ))
+    Ok((make(accs, full.accuracy()), make(f1s, full.macro_f1())))
 }
 
 #[cfg(test)]

@@ -187,12 +187,7 @@ mod tests {
     fn from_raters_matches_table_form() {
         let raters = vec![vec![0, 1, 2, 0], vec![0, 1, 1, 0], vec![0, 1, 2, 1]];
         let k1 = fleiss_kappa_from_raters(&raters, 3).unwrap();
-        let items = vec![
-            vec![3, 0, 0],
-            vec![0, 3, 0],
-            vec![0, 1, 2],
-            vec![2, 1, 0],
-        ];
+        let items = vec![vec![3, 0, 0], vec![0, 3, 0], vec![0, 1, 2], vec![2, 1, 0]];
         let k2 = fleiss_kappa(&items).unwrap();
         assert!((k1 - k2).abs() < 1e-12);
     }

@@ -138,8 +138,7 @@ mod tests {
     use super::*;
 
     fn report() -> ClassificationReport {
-        let m =
-            ConfusionMatrix::from_labels(2, &[0, 0, 1, 1], &[0, 1, 1, 1]).unwrap();
+        let m = ConfusionMatrix::from_labels(2, &[0, 0, 1, 1], &[0, 1, 1, 1]).unwrap();
         ClassificationReport::from_confusion("TestModel", &["Neg", "Pos"], &m)
     }
 

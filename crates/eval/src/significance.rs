@@ -29,11 +29,7 @@ impl McNemarOutcome {
 }
 
 /// Exact (binomial) McNemar test from paired predictions.
-pub fn mcnemar(
-    truth: &[usize],
-    pred_a: &[usize],
-    pred_b: &[usize],
-) -> Result<McNemarOutcome> {
+pub fn mcnemar(truth: &[usize], pred_a: &[usize], pred_b: &[usize]) -> Result<McNemarOutcome> {
     if truth.len() != pred_a.len() || truth.len() != pred_b.len() {
         return Err(RsdError::data("mcnemar: length mismatch"));
     }

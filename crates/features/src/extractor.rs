@@ -45,10 +45,7 @@ impl FeatureExtractor {
         if train.is_empty() {
             return Err(RsdError::data("FeatureExtractor::fit: no windows"));
         }
-        let docs: Vec<&str> = train
-            .iter()
-            .map(|w| last_text(dataset, w))
-            .collect();
+        let docs: Vec<&str> = train.iter().map(|w| last_text(dataset, w)).collect();
         let tfidf = TfIdfVectorizer::fit(docs, 2, Some(max_tfidf))?;
 
         let mut names: Vec<String> = Vec::new();
@@ -136,10 +133,7 @@ impl FeatureExtractor {
 
     /// Batch transform.
     pub fn transform_all(&self, dataset: &Rsd15k, windows: &[UserWindow]) -> Vec<Vec<f32>> {
-        windows
-            .iter()
-            .map(|w| self.transform(dataset, w))
-            .collect()
+        windows.iter().map(|w| self.transform(dataset, w)).collect()
     }
 
     /// Aggregate a per-feature importance vector into per-dimension shares
@@ -164,10 +158,7 @@ impl FeatureExtractor {
 }
 
 fn last_text<'a>(dataset: &'a Rsd15k, window: &UserWindow) -> &'a str {
-    let &last = window
-        .post_indices
-        .last()
-        .expect("windows are never empty");
+    let &last = window.post_indices.last().expect("windows are never empty");
     dataset.posts[last].text.as_str()
 }
 
@@ -201,9 +192,8 @@ mod tests {
     fn tfidf_cap_respected() {
         let (d, s) = fixture();
         let fx = FeatureExtractor::fit(&d, &s.train, 50).unwrap();
-        let dense_count = TIME_FEATURE_NAMES.len()
-            + TEXT_FEATURE_NAMES.len()
-            + SEQUENCE_FEATURE_NAMES.len();
+        let dense_count =
+            TIME_FEATURE_NAMES.len() + TEXT_FEATURE_NAMES.len() + SEQUENCE_FEATURE_NAMES.len();
         assert!(fx.dim() <= dense_count + 50);
         assert!(fx.dim() > dense_count, "some TF-IDF terms must survive");
     }

@@ -49,10 +49,7 @@ pub fn text_features(texts: &[&str]) -> Vec<f32> {
         .filter(|t| matches!(**t, "i" | "me" | "my" | "myself" | "i'm" | "i've"))
         .count() as f64
         / all_tokens.len().max(1) as f64;
-    let negations = all_tokens
-        .iter()
-        .filter(|t| NEGATIONS.contains(*t))
-        .count() as f64;
+    let negations = all_tokens.iter().filter(|t| NEGATIONS.contains(*t)).count() as f64;
     let theme_total: f64 = texts.iter().map(|t| theme_hits(t) as f64).sum();
     let theme_last = texts.last().map_or(0.0, |t| theme_hits(t) as f64);
 

@@ -35,8 +35,7 @@ pub fn time_features(timestamps: &[Timestamp]) -> Vec<f32> {
     } else {
         gaps.last().copied().unwrap_or(0.0) / gap_mean
     };
-    let night_ratio =
-        timestamps.iter().filter(|t| t.is_night()).count() as f64 / n.max(1) as f64;
+    let night_ratio = timestamps.iter().filter(|t| t.is_night()).count() as f64 / n.max(1) as f64;
     let weekend_ratio =
         timestamps.iter().filter(|t| t.is_weekend()).count() as f64 / n.max(1) as f64;
     let hours: Vec<f64> = timestamps.iter().map(|t| f64::from(t.hour())).collect();
@@ -54,8 +53,14 @@ pub fn time_features(timestamps: &[Timestamp]) -> Vec<f32> {
     vec![
         gap_mean as f32,
         std_dev(&gaps) as f32,
-        gaps.iter().copied().fold(f64::INFINITY, f64::min).pipe_zero() as f32,
-        gaps.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_zero() as f32,
+        gaps.iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .pipe_zero() as f32,
+        gaps.iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .pipe_zero() as f32,
         linear_trend(&gaps) as f32,
         last_gap_ratio as f32,
         night_ratio as f32,
@@ -87,7 +92,11 @@ mod tests {
     fn ts(hours: &[i64]) -> Vec<Timestamp> {
         hours
             .iter()
-            .map(|&h| Timestamp::from_ymd(2020, 6, 1).unwrap().plus_seconds(h * 3600))
+            .map(|&h| {
+                Timestamp::from_ymd(2020, 6, 1)
+                    .unwrap()
+                    .plus_seconds(h * 3600)
+            })
             .collect()
     }
 

@@ -91,7 +91,9 @@ impl Booster {
         let mut rounds_since_best = 0usize;
         let mut best_len = 0usize;
 
+        let _fit_span = rsd_obs::Span::enter("gbdt.fit");
         for _round in 0..cfg.n_rounds {
+            let _round_span = rsd_obs::Span::enter("gbdt.fit.round");
             // Softmax gradients.
             let mut grad = vec![0.0f32; n * k];
             let mut hess = vec![0.0f32; n * k];
@@ -113,9 +115,7 @@ impl Booster {
             } else {
                 (0..n).collect()
             };
-            let n_cols = ((train.n_features as f64) * cfg.colsample)
-                .round()
-                .max(1.0) as usize;
+            let n_cols = ((train.n_features as f64) * cfg.colsample).round().max(1.0) as usize;
             let features = if n_cols < train.n_features {
                 sample_indices(&mut rng, train.n_features, n_cols)
             } else {
@@ -125,6 +125,7 @@ impl Booster {
 
             let mut round_trees = Vec::with_capacity(k);
             for c in 0..k {
+                let _tree_span = rsd_obs::Span::enter("gbdt.fit.tree");
                 let g: Vec<f32> = (0..n).map(|i| grad[i * k + c]).collect();
                 let h: Vec<f32> = (0..n).map(|i| hess[i * k + c]).collect();
                 let tree = Tree::fit(
@@ -147,6 +148,7 @@ impl Booster {
             if let Some((vm, vl)) = valid {
                 if cfg.early_stopping > 0 {
                     let loss = booster.log_loss(vm, vl)?;
+                    rsd_obs::gauge("gbdt.valid_log_loss", loss);
                     if loss < best_valid - 1e-6 {
                         best_valid = loss;
                         rounds_since_best = 0;

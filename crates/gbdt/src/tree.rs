@@ -153,9 +153,8 @@ impl Tree {
         };
 
         let threshold = data.cuts.cuts[feature][bin as usize];
-        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
-            .iter()
-            .partition(|&&i| data.bins[i][feature] <= bin);
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+            rows.iter().partition(|&&i| data.bins[i][feature] <= bin);
 
         let left = self.nodes.len();
         self.nodes.push(Node::Leaf { weight: 0.0 });
@@ -169,10 +168,26 @@ impl Tree {
             right,
         };
         self.grow(
-            data, grad, hess, &left_rows, features, cfg, shrinkage, left, depth + 1,
+            data,
+            grad,
+            hess,
+            &left_rows,
+            features,
+            cfg,
+            shrinkage,
+            left,
+            depth + 1,
         );
         self.grow(
-            data, grad, hess, &right_rows, features, cfg, shrinkage, right, depth + 1,
+            data,
+            grad,
+            hess,
+            &right_rows,
+            features,
+            cfg,
+            shrinkage,
+            right,
+            depth + 1,
         );
     }
 
@@ -300,8 +315,24 @@ mod tests {
     fn shrinkage_scales_leaves() {
         let (data, grad, hess) = step_data();
         let rows: Vec<usize> = (0..20).collect();
-        let full = Tree::fit(&data, &grad, &hess, &rows, &[0], &TreeConfig::default(), 1.0);
-        let half = Tree::fit(&data, &grad, &hess, &rows, &[0], &TreeConfig::default(), 0.5);
+        let full = Tree::fit(
+            &data,
+            &grad,
+            &hess,
+            &rows,
+            &[0],
+            &TreeConfig::default(),
+            1.0,
+        );
+        let half = Tree::fit(
+            &data,
+            &grad,
+            &hess,
+            &rows,
+            &[0],
+            &TreeConfig::default(),
+            0.5,
+        );
         let p_full = full.predict_row(&[10.0]);
         let p_half = half.predict_row(&[10.0]);
         assert!((p_half - p_full * 0.5).abs() < 1e-6);

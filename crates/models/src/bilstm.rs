@@ -89,12 +89,7 @@ impl BiLstmModel {
     }
 
     /// Forward: window time rows + latest-post tokens → logits (1×4).
-    fn forward(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        example: &EncodedWindow,
-    ) -> Var {
+    fn forward(&self, tape: &mut Tape, store: &ParamStore, example: &EncodedWindow) -> Var {
         // Temporal rows: one per post in the window.
         let w = example.time_feats.len();
         let time_data: Vec<f32> = example

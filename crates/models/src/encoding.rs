@@ -35,8 +35,8 @@ pub fn time_vector(timestamps: &[Timestamp], idx: usize) -> [f32; TIME_FEATURE_D
         t.days_since(timestamps[idx - 1]) as f32
     };
     let mean_gap = if timestamps.len() >= 2 {
-        (timestamps[timestamps.len() - 1].days_since(timestamps[0])
-            / (timestamps.len() - 1) as f64) as f32
+        (timestamps[timestamps.len() - 1].days_since(timestamps[0]) / (timestamps.len() - 1) as f64)
+            as f32
     } else {
         0.0
     };

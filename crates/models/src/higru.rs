@@ -88,19 +88,20 @@ impl HiGruModel {
                 cfg.heads,
                 rng,
             ),
-            head: Linear::new(store, "higru.head", 2 * cfg.post_hidden, RiskLevel::COUNT, rng),
+            head: Linear::new(
+                store,
+                "higru.head",
+                2 * cfg.post_hidden,
+                RiskLevel::COUNT,
+                rng,
+            ),
             post_dim,
         }
     }
 
     /// Encode one post: bidirectional token GRU, mean-pool, residual from
     /// mean embedding, layer norm. Returns 1×post_dim.
-    fn encode_post(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        tokens: &[u32],
-    ) -> Var {
+    fn encode_post(&self, tape: &mut Tape, store: &ParamStore, tokens: &[u32]) -> Var {
         let embs = self.emb.forward(tape, store, tokens);
         let fwd = self.token_gru.run(tape, store, embs, false);
         let bwd = self.token_gru.run(tape, store, embs, true);

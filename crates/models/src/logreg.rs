@@ -82,7 +82,13 @@ impl LogRegBaseline {
 
         let mut rng = stream_rng(data.seed, "logreg.init");
         let mut store = ParamStore::new();
-        let layer = Linear::new(&mut store, "logreg", extractor.dim(), RiskLevel::COUNT, &mut rng);
+        let layer = Linear::new(
+            &mut store,
+            "logreg",
+            extractor.dim(),
+            RiskLevel::COUNT,
+            &mut rng,
+        );
         let mut opt = Adam::with_weight_decay(cfg.train.lr, cfg.weight_decay);
 
         let mut order: Vec<usize> = (0..x_train.len()).collect();

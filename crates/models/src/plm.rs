@@ -166,12 +166,7 @@ impl PlmModel {
     /// Temporal fusion vector: project each window post's time encoding,
     /// mean-pool across the window (the attention-pooled multi-scale
     /// summary), returning 1×dim.
-    fn time_summary(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        example: &EncodedWindow,
-    ) -> Var {
+    fn time_summary(&self, tape: &mut Tape, store: &ParamStore, example: &EncodedWindow) -> Var {
         let w = example.time_feats.len();
         let data: Vec<f32> = example
             .time_feats
@@ -352,10 +347,7 @@ mod tests {
             let outcome = PlmBaseline::new(tiny_cfg(kind)).run(&data).unwrap();
             assert_eq!(outcome.report.model, kind.name());
             assert_eq!(outcome.confusion.total() as usize, splits.test.len());
-            assert!(outcome
-                .extra
-                .iter()
-                .any(|(k, _)| k == "mlm_final_loss"));
+            assert!(outcome.extra.iter().any(|(k, _)| k == "mlm_final_loss"));
         }
     }
 

@@ -207,16 +207,8 @@ mod tests {
             batch: 8,
             ..Default::default()
         };
-        let loss = mlm_pretrain(
-            &encoder,
-            &head,
-            &mut store,
-            &task_encoder,
-            &texts,
-            &cfg,
-            7,
-        )
-        .unwrap();
+        let loss =
+            mlm_pretrain(&encoder, &head, &mut store, &task_encoder, &texts, &cfg, 7).unwrap();
         let uniform = (task_encoder.vocab.len() as f32).ln();
         assert!(
             loss < uniform * 0.8,

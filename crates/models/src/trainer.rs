@@ -104,8 +104,7 @@ pub fn augment_train_windows(
 
 /// A forward-pass builder: constructs the per-example graph and returns
 /// 1×C logits.
-pub type ForwardFn<'m> =
-    dyn Fn(&mut Tape, &ParamStore, &EncodedWindow, &mut StdRng) -> Var + 'm;
+pub type ForwardFn<'m> = dyn Fn(&mut Tape, &ParamStore, &EncodedWindow, &mut StdRng) -> Var + 'm;
 
 /// Train a classifier with early stopping; the store is left holding the
 /// best-validation weights. Returns per-epoch validation macro-F1.
@@ -135,13 +134,12 @@ pub fn train_classifier(
         Vec::new()
     };
 
-    for _epoch in 0..cfg.epochs {
+    let _train_span = rsd_obs::Span::enter("models.train");
+    for epoch in 0..cfg.epochs {
+        let _epoch_span = rsd_obs::Span::enter("models.train.epoch");
         // Epoch ordering.
         let order: Vec<usize> = if cfg.balanced {
-            let weights: Vec<f64> = train
-                .iter()
-                .map(|e| class_weights[e.label])
-                .collect();
+            let weights: Vec<f64> = train.iter().map(|e| class_weights[e.label]).collect();
             (0..train.len())
                 .map(|_| weighted_index(&mut rng, &weights))
                 .collect()
@@ -152,11 +150,16 @@ pub fn train_classifier(
         };
 
         let mut in_batch = 0usize;
+        let mut loss_sum = 0.0f64;
+        let telemetry = rsd_obs::enabled();
         for &i in &order {
             let example = &train[i];
             let mut tape = Tape::new();
             let logits = forward(&mut tape, store, example, &mut rng);
             let loss = tape.cross_entropy(logits, &[example.label]);
+            if telemetry {
+                loss_sum += f64::from(tape.value(loss).data[0]);
+            }
             tape.backward(loss);
             tape.harvest_grads(store);
             in_batch += 1;
@@ -174,13 +177,19 @@ pub fn train_classifier(
         }
 
         // Validation macro-F1.
-        let f1 = if valid.is_empty() {
-            0.0
+        let (f1, accuracy) = if valid.is_empty() {
+            (0.0, 0.0)
         } else {
             let confusion = evaluate(store, forward, valid, &mut rng)?;
-            confusion.macro_f1()
+            (confusion.macro_f1(), confusion.accuracy())
         };
         history.push(f1);
+
+        if telemetry {
+            let tag = [("epoch", rsd_obs::Value::Int(epoch as i128))];
+            rsd_obs::gauge_tagged("models.train.loss", loss_sum / order.len() as f64, &tag);
+            rsd_obs::gauge_tagged("models.train.accuracy", accuracy, &tag);
+        }
 
         if f1 > best_f1 + 1e-9 {
             best_f1 = f1;
@@ -244,13 +253,21 @@ pub fn sample_pretrain_texts(unlabeled: &[String], n: usize, seed: u64) -> Vec<S
 
 /// Convenience used by tests: a toy forward that ignores text and learns
 /// only the bias (sanity baseline).
-pub fn bias_only_forward(n_classes: usize) -> (ParamStore, impl Fn(&mut Tape, &ParamStore, &EncodedWindow, &mut StdRng) -> Var) {
+pub fn bias_only_forward(
+    n_classes: usize,
+) -> (
+    ParamStore,
+    impl Fn(&mut Tape, &ParamStore, &EncodedWindow, &mut StdRng) -> Var,
+) {
     let mut store = ParamStore::new();
     let bias = store.register_zeros("bias", 1, n_classes);
-    (store, move |tape: &mut Tape, store: &ParamStore, _ex: &EncodedWindow, rng: &mut StdRng| {
-        let _ = rng.gen::<u32>();
-        tape.param(store, bias)
-    })
+    (
+        store,
+        move |tape: &mut Tape, store: &ParamStore, _ex: &EncodedWindow, rng: &mut StdRng| {
+            let _ = rng.gen::<u32>();
+            tape.param(store, bias)
+        },
+    )
 }
 
 #[cfg(test)]
@@ -304,23 +321,16 @@ mod tests {
             patience: 2,
             ..Default::default()
         };
-        let history =
-            train_classifier(&mut store, &forward, &train, &train, &cfg, 2).unwrap();
+        let history = train_classifier(&mut store, &forward, &train, &train, &cfg, 2).unwrap();
         assert!(history.len() < 50, "patience must stop early");
     }
 
     #[test]
     fn empty_training_rejected() {
         let (mut store, forward) = bias_only_forward(4);
-        assert!(train_classifier(
-            &mut store,
-            &forward,
-            &[],
-            &[],
-            &TrainConfig::default(),
-            3
-        )
-        .is_err());
+        assert!(
+            train_classifier(&mut store, &forward, &[], &[], &TrainConfig::default(), 3).is_err()
+        );
     }
 
     #[test]
@@ -366,6 +376,41 @@ mod tests {
         // Every expanded window's label matches its own final post.
         for w in &expanded {
             assert_eq!(w.label, d.posts[*w.post_indices.last().unwrap()].label);
+        }
+    }
+
+    #[test]
+    fn telemetry_emits_loss_and_accuracy_per_epoch() {
+        let cfg = TrainConfig {
+            epochs: 3,
+            patience: 0,
+            ..Default::default()
+        };
+        let train = toy_examples(20, false);
+        let records = rsd_obs::capture(|| {
+            let (mut store, forward) = bias_only_forward(4);
+            train_classifier(&mut store, &forward, &train, &train, &cfg, 9).unwrap();
+        });
+        let gauges_named = |name: &str| -> Vec<i128> {
+            records
+                .iter()
+                .filter(|r| r["kind"] == "gauge" && r["label"] == name)
+                .map(|r| match &r["epoch"] {
+                    rsd_obs::Value::Int(e) => *e,
+                    other => panic!("epoch tag missing: {other:?}"),
+                })
+                .collect()
+        };
+        assert_eq!(gauges_named("models.train.loss"), vec![0, 1, 2]);
+        assert_eq!(gauges_named("models.train.accuracy"), vec![0, 1, 2]);
+        // Loss values must be finite and positive (cross-entropy).
+        for r in &records {
+            if r["label"] == "models.train.loss" {
+                match &r["value"] {
+                    rsd_obs::Value::Float(v) => assert!(v.is_finite() && *v > 0.0),
+                    other => panic!("non-float loss: {other:?}"),
+                }
+            }
         }
     }
 

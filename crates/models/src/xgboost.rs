@@ -145,10 +145,7 @@ mod tests {
             "accuracy {}",
             outcome.report.accuracy
         );
-        assert!(outcome
-            .extra
-            .iter()
-            .any(|(k, _)| k == "importance.time"));
+        assert!(outcome.extra.iter().any(|(k, _)| k == "importance.time"));
         assert_eq!(outcome.report.model, "XGBoost");
     }
 }

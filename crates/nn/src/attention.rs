@@ -188,7 +188,9 @@ mod tests {
         Matrix::from_vec(
             seq,
             dim,
-            (0..seq * dim).map(|i| ((i * 7 % 13) as f32) * 0.1 - 0.6).collect(),
+            (0..seq * dim)
+                .map(|i| ((i * 7 % 13) as f32) * 0.1 - 0.6)
+                .collect(),
         )
     }
 

@@ -151,7 +151,11 @@ mod tests {
         let mut store = ParamStore::new();
         let ln = LayerNorm::new(&mut store, "ln", 4);
         let mut tape = Tape::new();
-        let x = tape.constant(Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0]));
+        let x = tape.constant(Matrix::from_vec(
+            2,
+            4,
+            vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0],
+        ));
         let y = ln.forward(&mut tape, &store, x);
         let v = tape.value(y);
         for r in 0..2 {

@@ -38,14 +38,7 @@ impl Lstm {
     }
 
     /// One step: `(h, c) → (h', c')` for an input row `x` (1×in).
-    pub fn step(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        x: Var,
-        h: Var,
-        c: Var,
-    ) -> (Var, Var) {
+    pub fn step(&self, tape: &mut Tape, store: &ParamStore, x: Var, h: Var, c: Var) -> (Var, Var) {
         let gx = self.wx.forward(tape, store, x);
         let gh = self.wh.forward(tape, store, h);
         let gates = tape.add(gx, gh);
@@ -69,13 +62,7 @@ impl Lstm {
     /// Run over a sequence (seq×in), returning per-step hidden states
     /// (seq×hidden). `reverse` processes the sequence back-to-front but
     /// returns outputs in original order.
-    pub fn run(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        sequence: Var,
-        reverse: bool,
-    ) -> Var {
+    pub fn run(&self, tape: &mut Tape, store: &ParamStore, sequence: Var, reverse: bool) -> Var {
         let (seq_len, _) = tape.shape(sequence);
         let zeros = crate::matrix::Matrix::zeros(1, self.hidden);
         let mut h = tape.constant(zeros.clone());
@@ -154,13 +141,7 @@ impl Gru {
     }
 
     /// Run over a sequence (seq×in) → per-step hidden states (seq×hidden).
-    pub fn run(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        sequence: Var,
-        reverse: bool,
-    ) -> Var {
+    pub fn run(&self, tape: &mut Tape, store: &ParamStore, sequence: Var, reverse: bool) -> Var {
         let (seq_len, _) = tape.shape(sequence);
         let zeros = crate::matrix::Matrix::zeros(1, self.hidden);
         let mut h = tape.constant(zeros);
@@ -231,11 +212,7 @@ mod tests {
         let lstm = Lstm::new(&mut store, "l", 2, 3, &mut rng);
         let mut tape = Tape::new();
         let s = tape.constant(seq(vec![0.5; 8], 2));
-        let out = bidirectional(
-            &mut tape,
-            |t, s, rev| lstm.run(t, &store, s, rev),
-            s,
-        );
+        let out = bidirectional(&mut tape, |t, s, rev| lstm.run(t, &store, s, rev), s);
         assert_eq!(tape.shape(out), (4, 6));
     }
 
@@ -289,11 +266,7 @@ mod tests {
         let mut store = ParamStore::new();
         let lstm = Lstm::new(&mut store, "l", 2, 3, &mut rng);
         let input = seq(vec![0.3, -0.5, 0.8, 0.1, -0.2, 0.6], 2);
-        check_rnn_grad(
-            move |tape, x| lstm.run(tape, &store, x, false),
-            input,
-            5e-2,
-        );
+        check_rnn_grad(move |tape, x| lstm.run(tape, &store, x, false), input, 5e-2);
     }
 
     #[test]
@@ -302,11 +275,7 @@ mod tests {
         let mut store = ParamStore::new();
         let gru = Gru::new(&mut store, "g", 2, 3, &mut rng);
         let input = seq(vec![0.3, -0.5, 0.8, 0.1, -0.2, 0.6], 2);
-        check_rnn_grad(
-            move |tape, x| gru.run(tape, &store, x, true),
-            input,
-            5e-2,
-        );
+        check_rnn_grad(move |tape, x| gru.run(tape, &store, x, true), input, 5e-2);
     }
 
     #[test]
@@ -360,10 +329,7 @@ mod tests {
         let gru = Gru::new(&mut store, "g", 1, 8, &mut rng);
         let head = Linear::new(&mut store, "head", 8, 2, &mut rng);
         let mut opt = Adam::new(0.02);
-        let data = [
-            (vec![1.0f32, 0.0], 0usize),
-            (vec![0.0, 1.0], 1),
-        ];
+        let data = [(vec![1.0f32, 0.0], 0usize), (vec![0.0, 1.0], 1)];
         for _ in 0..200 {
             for (x, y) in &data {
                 let mut tape = Tape::new();

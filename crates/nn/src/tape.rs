@@ -503,12 +503,22 @@ impl Tape {
                     let da = Matrix {
                         rows: grad.rows,
                         cols: grad.cols,
-                        data: grad.data.iter().zip(&vb.data).map(|(&g, &v)| g * v).collect(),
+                        data: grad
+                            .data
+                            .iter()
+                            .zip(&vb.data)
+                            .map(|(&g, &v)| g * v)
+                            .collect(),
                     };
                     let db = Matrix {
                         rows: grad.rows,
                         cols: grad.cols,
-                        data: grad.data.iter().zip(&va.data).map(|(&g, &v)| g * v).collect(),
+                        data: grad
+                            .data
+                            .iter()
+                            .zip(&va.data)
+                            .map(|(&g, &v)| g * v)
+                            .collect(),
                     };
                     self.add_grad(a, da);
                     self.add_grad(b, db);
@@ -615,11 +625,8 @@ impl Tape {
                             dbias.data[c] += g_row[c];
                         }
                         // dnormed = g * gain
-                        let dn: Vec<f32> = g_row
-                            .iter()
-                            .zip(&vg.data)
-                            .map(|(&g, &w)| g * w)
-                            .collect();
+                        let dn: Vec<f32> =
+                            g_row.iter().zip(&vg.data).map(|(&g, &w)| g * w).collect();
                         let sum_dn: f32 = dn.iter().sum();
                         let sum_dn_n: f32 = dn.iter().zip(n_row).map(|(&d, &m)| d * m).sum();
                         for c in 0..grad.cols {
@@ -758,8 +765,7 @@ impl Tape {
                             } else {
                                 (i, j as i64 - i as i64)
                             };
-                            let col =
-                                (offset + radius as i64).clamp(0, 2 * radius as i64) as usize;
+                            let col = (offset + radius as i64).clamp(0, 2 * radius as i64) as usize;
                             dx.data[src_row * (2 * radius + 1) + col] += grad.get(i, j);
                         }
                     }
@@ -827,11 +833,7 @@ mod tests {
 
     /// Finite-difference check: builds the graph twice per perturbed input
     /// entry and compares ∂loss/∂x with the tape's gradient.
-    fn check_grad(
-        build: impl Fn(&mut Tape, Var) -> Var,
-        input: Matrix,
-        tol: f32,
-    ) {
+    fn check_grad(build: impl Fn(&mut Tape, Var) -> Var, input: Matrix, tol: f32) {
         // Analytic gradient.
         let mut tape = Tape::new();
         let x = tape.constant(input.clone());
@@ -1007,11 +1009,7 @@ mod tests {
 
     #[test]
     fn grad_cross_entropy() {
-        check_grad(
-            |t, x| t.cross_entropy(x, &[2, 0]),
-            test_input(),
-            2e-2,
-        );
+        check_grad(|t, x| t.cross_entropy(x, &[2, 0]), test_input(), 2e-2);
     }
 
     #[test]

@@ -67,12 +67,7 @@ struct EncoderBlock {
 }
 
 impl EncoderBlock {
-    fn new(
-        store: &mut ParamStore,
-        name: &str,
-        cfg: &EncoderConfig,
-        rng: &mut StdRng,
-    ) -> Self {
+    fn new(store: &mut ParamStore, name: &str, cfg: &EncoderConfig, rng: &mut StdRng) -> Self {
         let attn = match cfg.positions {
             PositionMode::Absolute => BlockAttention::Absolute(MultiHeadAttention::new(
                 store,
@@ -208,7 +203,13 @@ pub struct MlmHead {
 
 impl MlmHead {
     /// Register the head.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, vocab: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        vocab: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         MlmHead {
             proj: Linear::new(store, &format!("{name}.proj"), dim, vocab, rng),
         }

@@ -1,0 +1,452 @@
+//! `rsd-obs` — workspace-wide telemetry for the RSD-15K reproduction.
+//!
+//! Three pieces, all opt-in at runtime:
+//!
+//! - a global thread-safe [`Registry`] (counters, gauges, log-bucket
+//!   histograms with p50/p90/p99, per-label span aggregates);
+//! - RAII [`Span`] timers (`Span::enter("annotation.campaign.day")`)
+//!   that fold wall-clock, call counts, and nesting depth into the
+//!   registry and stream NDJSON records to the active sink;
+//! - [`RunReport`], the final JSON artifact bench binaries write to
+//!   `bench_runs/<scale>/<bin>.report.json`.
+//!
+//! Selection happens through the `RSD_OBS` environment variable:
+//! `off`/unset (default — every entry point is a single atomic load and
+//! branch, no allocation or lock), `stderr`, or a file path that
+//! receives the NDJSON stream. Telemetry never writes to stdout, so
+//! table output stays byte-identical whether or not it is enabled.
+
+mod registry;
+mod report;
+mod sink;
+mod span;
+
+pub use registry::{Histogram, Registry, SpanStat};
+pub use report::RunReport;
+pub use span::Span;
+
+/// Re-exported so instrumented crates can build tagged records without
+/// depending on `serde_json` themselves.
+pub use serde_json::{Map, Value};
+
+use parking_lot::Mutex;
+use sink::Sink;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Tri-state enable flag: 0 = not yet resolved from the environment,
+/// 1 = disabled, 2 = enabled. Everything hot checks this first.
+static FLAG: AtomicU8 = AtomicU8::new(0);
+const FLAG_UNKNOWN: u8 = 0;
+const FLAG_OFF: u8 = 1;
+const FLAG_ON: u8 = 2;
+
+struct Global {
+    registry: Registry,
+    sink: Mutex<Sink>,
+    epoch: Instant,
+}
+
+static GLOBAL: OnceLock<Global> = OnceLock::new();
+
+/// Sink destination requested at init time.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    /// Registry off, sink off — the zero-overhead default.
+    Off,
+    /// NDJSON records to stderr.
+    Stderr,
+    /// NDJSON records appended to a file (created/truncated at init).
+    File(PathBuf),
+}
+
+impl Mode {
+    /// Parse the `RSD_OBS` convention: `off`/empty → [`Mode::Off`],
+    /// `stderr` → [`Mode::Stderr`], anything else is a file path.
+    pub fn from_env() -> Mode {
+        match std::env::var("RSD_OBS") {
+            Err(_) => Mode::Off,
+            Ok(v) if v.is_empty() || v == "off" || v == "0" => Mode::Off,
+            Ok(v) if v == "stderr" => Mode::Stderr,
+            Ok(path) => Mode::File(PathBuf::from(path)),
+        }
+    }
+}
+
+fn global() -> &'static Global {
+    GLOBAL.get_or_init(|| Global {
+        registry: Registry::new(),
+        sink: Mutex::new(Sink::Off),
+        epoch: Instant::now(),
+    })
+}
+
+/// Initialize telemetry with an explicit mode. The first initialization
+/// (explicit or lazy via [`enabled`]) wins; later calls are no-ops.
+/// Returns whether telemetry ended up enabled.
+pub fn init(mode: Mode) -> bool {
+    if FLAG.load(Ordering::Acquire) != FLAG_UNKNOWN {
+        return enabled();
+    }
+    let g = global();
+    let flag = {
+        let mut sink = g.sink.lock();
+        // Respect a sink some racing initializer installed first.
+        if sink.is_active() {
+            FLAG_ON
+        } else {
+            match mode {
+                Mode::Off => FLAG_OFF,
+                Mode::Stderr => {
+                    *sink = Sink::Stderr;
+                    FLAG_ON
+                }
+                Mode::File(path) => match std::fs::File::create(&path) {
+                    Ok(f) => {
+                        *sink = Sink::File(std::io::BufWriter::new(f));
+                        FLAG_ON
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "rsd-obs: cannot open RSD_OBS sink {}: {e}; telemetry disabled",
+                            path.display()
+                        );
+                        FLAG_OFF
+                    }
+                },
+            }
+        }
+    };
+    FLAG.store(flag, Ordering::Release);
+    flag == FLAG_ON
+}
+
+/// Whether telemetry is on. The hot path for every instrumented site:
+/// once resolved this is a single atomic load plus branch.
+#[inline]
+pub fn enabled() -> bool {
+    match FLAG.load(Ordering::Acquire) {
+        FLAG_OFF => false,
+        FLAG_ON => true,
+        _ => init(Mode::from_env()),
+    }
+}
+
+/// The global registry (created on first use).
+pub fn registry() -> &'static Registry {
+    &global().registry
+}
+
+/// Serialize one NDJSON record to the active sink.
+fn emit_record(kind: &str, label: &str, fields: &[(&'static str, Value)]) {
+    let Some(g) = GLOBAL.get() else {
+        return;
+    };
+    let mut sink = g.sink.lock();
+    if !sink.is_active() {
+        return;
+    }
+    let mut m = Map::new();
+    m.insert("ts_ms", Value::Float(g.epoch.elapsed().as_secs_f64() * 1e3));
+    m.insert("kind", Value::String(kind.to_string()));
+    m.insert("label", Value::String(label.to_string()));
+    for (k, v) in fields {
+        m.insert(*k, v.clone());
+    }
+    sink.write_line(&Value::Object(m).to_json());
+}
+
+/// Add to a counter. Counters aggregate silently (they surface in
+/// [`snapshot`] and run reports, not as per-increment NDJSON lines).
+pub fn counter_add(label: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    registry().counter_add(label, n);
+}
+
+/// Set a gauge and emit a `gauge` NDJSON record.
+pub fn gauge(label: &'static str, value: f64) {
+    gauge_tagged(label, value, &[]);
+}
+
+/// [`gauge`] with extra record fields (e.g. the epoch a training-loss
+/// gauge belongs to).
+pub fn gauge_tagged(label: &'static str, value: f64, fields: &[(&'static str, Value)]) {
+    if !enabled() {
+        return;
+    }
+    registry().gauge_set(label, value);
+    let mut all = Vec::with_capacity(fields.len() + 1);
+    all.push(("value", Value::Float(value)));
+    all.extend_from_slice(fields);
+    emit_record("gauge", label, &all);
+}
+
+/// Record a histogram observation (seconds, items, whatever — one unit
+/// per label).
+pub fn observe(label: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    registry().observe(label, value);
+}
+
+/// Emit a free-form `event` NDJSON record.
+pub fn event(label: &'static str, fields: &[(&'static str, Value)]) {
+    if !enabled() {
+        return;
+    }
+    emit_record("event", label, fields);
+}
+
+/// Called by [`Span`] guards on drop.
+pub(crate) fn finish_span(label: &'static str, elapsed: Duration, depth: u32) {
+    let g = global();
+    g.registry.record_span(label, elapsed, depth);
+    emit_record(
+        "span",
+        label,
+        &[
+            ("ms", Value::Float(elapsed.as_secs_f64() * 1e3)),
+            ("depth", Value::Int(i128::from(depth))),
+        ],
+    );
+}
+
+/// Snapshot the global registry as JSON.
+pub fn snapshot() -> Value {
+    match GLOBAL.get() {
+        Some(g) => g.registry.snapshot(),
+        None => Registry::new().snapshot(),
+    }
+}
+
+/// Flush the sink (file sinks buffer). Bench binaries call this before
+/// exiting.
+pub fn flush() {
+    if let Some(g) = GLOBAL.get() {
+        g.sink.lock().flush();
+    }
+}
+
+/// Serializes [`capture`] blocks so concurrent tests don't interleave
+/// their event streams.
+static CAPTURE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Test harness: run `f` with telemetry forced on and the sink swapped
+/// to an in-memory buffer, then return the parsed NDJSON records. The
+/// global registry is reset on entry so assertions see only `f`'s
+/// activity. Captures are serialized process-wide.
+pub fn capture<F: FnOnce()>(f: F) -> Vec<Value> {
+    let _guard = CAPTURE_LOCK.lock();
+    let g = global();
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let prev_flag = FLAG.swap(FLAG_ON, Ordering::AcqRel);
+    let prev_sink = std::mem::replace(&mut *g.sink.lock(), Sink::Memory(Arc::clone(&buf)));
+    g.registry.reset();
+
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+
+    *g.sink.lock() = prev_sink;
+    FLAG.store(
+        if prev_flag == FLAG_UNKNOWN {
+            FLAG_UNKNOWN
+        } else {
+            prev_flag
+        },
+        Ordering::Release,
+    );
+    if let Err(panic) = outcome {
+        std::panic::resume_unwind(panic);
+    }
+
+    let bytes = buf.lock().clone();
+    String::from_utf8(bytes)
+        .expect("NDJSON sink produced invalid UTF-8")
+        .lines()
+        .map(|line| {
+            serde_json::from_str(line)
+                .unwrap_or_else(|e| panic!("unparseable NDJSON line {line:?}: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn histogram_quantiles_match_uniform_distribution() {
+        let mut h = Histogram::default();
+        for i in 1..=10_000 {
+            h.observe(f64::from(i));
+        }
+        assert_eq!(h.count(), 10_000);
+        for (q, expected) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q).unwrap();
+            let rel = (got - expected).abs() / expected;
+            assert!(rel < 0.15, "q{q}: got {got}, expected ~{expected}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_exact_for_constant_distribution() {
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(0.125);
+        }
+        // min == max == value, so clamping pins every quantile exactly.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(0.125));
+        }
+        assert!((h.sum() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_spans_many_orders_of_magnitude() {
+        let mut h = Histogram::default();
+        // 90% tiny values, 10% huge: p50 near 1e-6, p99 near 1e3.
+        for _ in 0..900 {
+            h.observe(1e-6);
+        }
+        for _ in 0..100 {
+            h.observe(1e3);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((1e-7..1e-5).contains(&p50), "p50 {p50}");
+        assert!((1e2..=1e3).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn counters_and_gauges_are_exact_under_contention() {
+        let reg = StdArc::new(Registry::new());
+        let threads: u32 = 8;
+        let per_thread: u32 = 10_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let reg = StdArc::clone(&reg);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        reg.counter_add("contended", 1);
+                        reg.gauge_set("last", f64::from(t * per_thread + i));
+                        reg.observe("dist", 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("contended"), u64::from(threads * per_thread));
+        assert!(reg.gauge("last").is_some());
+        assert_eq!(
+            reg.snapshot()["histograms"]["dist"]["count"],
+            u64::from(threads * per_thread)
+        );
+    }
+
+    #[test]
+    fn span_nesting_aggregates_depth_and_counts() {
+        let events = capture(|| {
+            let _outer = Span::enter("nest.outer");
+            for _ in 0..3 {
+                let _inner = Span::enter("nest.inner");
+                let _leaf = Span::enter("nest.leaf");
+            }
+            let outer_stat_missing = registry().span_stat("nest.outer").is_none();
+            assert!(outer_stat_missing, "outer span must still be open here");
+        });
+        let outer = registry().span_stat("nest.outer");
+        // The registry was reset by any later capture; read from events
+        // instead, which are immune to cross-test interleaving.
+        let spans: Vec<_> = events.iter().filter(|e| e["kind"] == "span").collect();
+        let count_label = |label: &str| spans.iter().filter(|e| e["label"] == label).count();
+        assert_eq!(count_label("nest.outer"), 1);
+        assert_eq!(count_label("nest.inner"), 3);
+        assert_eq!(count_label("nest.leaf"), 3);
+        let depth_of = |label: &str| {
+            spans
+                .iter()
+                .find(|e| e["label"] == label)
+                .map(|e| e["depth"].as_i64().unwrap())
+                .unwrap()
+        };
+        assert_eq!(depth_of("nest.outer"), 0);
+        assert_eq!(depth_of("nest.inner"), 1);
+        assert_eq!(depth_of("nest.leaf"), 2);
+        // Aggregate view still holds if no other capture ran since.
+        if let Some(stat) = outer {
+            assert_eq!(stat.count, 1);
+            assert_eq!(stat.max_depth, 0);
+        }
+    }
+
+    #[test]
+    fn ndjson_sink_round_trips_schema() {
+        let events = capture(|| {
+            counter_add("rt.counter", 7);
+            gauge_tagged("rt.gauge", 1.5, &[("epoch", Value::Int(3))]);
+            event(
+                "rt.event",
+                &[("items", Value::Int(42)), ("ok", Value::Bool(true))],
+            );
+            let _s = Span::enter("rt.span");
+        });
+        assert!(!events.is_empty());
+        for e in &events {
+            assert!(e["ts_ms"].as_f64().is_some(), "ts_ms missing in {e}");
+            assert!(e["kind"].as_str().is_some(), "kind missing in {e}");
+            assert!(e["label"].as_str().is_some(), "label missing in {e}");
+        }
+        let gauge_rec = events
+            .iter()
+            .find(|e| e["label"] == "rt.gauge")
+            .expect("gauge record present");
+        assert_eq!(gauge_rec["kind"], "gauge");
+        assert_eq!(gauge_rec["value"], 1.5f64);
+        assert_eq!(gauge_rec["epoch"], 3u32);
+        let event_rec = events
+            .iter()
+            .find(|e| e["label"] == "rt.event")
+            .expect("event record present");
+        assert_eq!(event_rec["items"], 42u32);
+        assert_eq!(event_rec["ok"], true);
+        let span_rec = events
+            .iter()
+            .find(|e| e["label"] == "rt.span")
+            .expect("span record present");
+        assert!(span_rec["ms"].as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn capture_resets_registry_between_uses() {
+        capture(|| counter_add("reset.probe", 5));
+        let events = capture(|| {
+            assert_eq!(registry().counter("reset.probe"), 0);
+            counter_add("reset.probe", 2);
+        });
+        // Counters don't stream records; the capture itself must be clean.
+        assert!(events.iter().all(|e| e["kind"] != "counter"));
+    }
+
+    #[test]
+    fn run_report_embeds_metrics_snapshot() {
+        capture(|| {
+            counter_add("report.widgets", 11);
+            let mut report = RunReport::new("unit_test", "small", 2026);
+            report.set("models", Value::Int(4));
+            let v = report.to_value();
+            assert_eq!(v["bin"], "unit_test");
+            assert_eq!(v["scale"], "small");
+            assert_eq!(v["seed"], 2026u64);
+            assert!(v["elapsed_ms"].as_f64().unwrap() >= 0.0);
+            assert_eq!(v["config"]["models"], 4u32);
+            assert_eq!(v["metrics"]["counters"]["report.widgets"], 11u32);
+        });
+    }
+}

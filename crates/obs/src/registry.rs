@@ -1,0 +1,251 @@
+//! Thread-safe metrics registry: counters, gauges, fixed-bucket
+//! histograms with quantile readout, and per-label span aggregates.
+
+use parking_lot::Mutex;
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Number of histogram buckets per decade. The bucket ratio is
+/// `10^(1/20) ≈ 1.122`, so quantile estimates carry at most ~6% relative
+/// error — plenty for wall-clock and throughput distributions.
+const BUCKETS_PER_DECADE: usize = 20;
+/// Lowest representable histogram value (1 ns when observing seconds).
+const HIST_MIN: f64 = 1e-9;
+/// Decades covered above [`HIST_MIN`].
+const DECADES: usize = 18;
+/// Total bucket count (plus implicit under/overflow clamping).
+const N_BUCKETS: usize = BUCKETS_PER_DECADE * DECADES;
+
+/// Log-spaced fixed-bucket histogram over `[1e-9, 1e9)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value, clamped into range.
+    fn bucket(value: f64) -> usize {
+        if value <= HIST_MIN {
+            return 0;
+        }
+        let idx = (BUCKETS_PER_DECADE as f64 * (value / HIST_MIN).log10()).floor();
+        (idx as usize).min(N_BUCKETS - 1)
+    }
+
+    /// Geometric midpoint of a bucket, the quantile estimate for values
+    /// that land in it.
+    fn bucket_mid(idx: usize) -> f64 {
+        HIST_MIN * 10f64.powf((idx as f64 + 0.5) / BUCKETS_PER_DECADE as f64)
+    }
+
+    /// Record one observation. Non-finite values are dropped.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.counts[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by cumulative walk,
+    /// clamped to the observed `[min, max]`. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_mid(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Summary as a JSON object (count, sum, min/max, p50/p90/p99).
+    pub fn summary(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("count", Value::Int(self.count as i128));
+        m.insert("sum", Value::Float(self.sum));
+        if self.count > 0 {
+            m.insert("min", Value::Float(self.min));
+            m.insert("max", Value::Float(self.max));
+            m.insert("mean", Value::Float(self.sum / self.count as f64));
+            for (name, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                if let Some(v) = self.quantile(q) {
+                    m.insert(name, Value::Float(v));
+                }
+            }
+        }
+        Value::Object(m)
+    }
+}
+
+/// Aggregate over all completed spans with one label.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanStat {
+    /// Completed span count.
+    pub count: u64,
+    /// Total wall-clock across spans.
+    pub total_ns: u128,
+    /// Longest single span.
+    pub max_ns: u128,
+    /// Deepest nesting level observed (0 = top level).
+    pub max_depth: u32,
+}
+
+impl SpanStat {
+    fn summary(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("count", Value::Int(self.count as i128));
+        m.insert("total_ms", Value::Float(self.total_ns as f64 / 1e6));
+        if self.count > 0 {
+            m.insert(
+                "mean_ms",
+                Value::Float(self.total_ns as f64 / 1e6 / self.count as f64),
+            );
+        }
+        m.insert("max_ms", Value::Float(self.max_ns as f64 / 1e6));
+        m.insert("max_depth", Value::Int(i128::from(self.max_depth)));
+        Value::Object(m)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: BTreeMap<&'static str, SpanStat>,
+}
+
+/// Thread-safe metric store. One global instance lives behind
+/// [`crate::registry`]; standalone instances are constructible for tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add to a monotonic counter.
+    pub fn counter_add(&self, label: &'static str, n: u64) {
+        *self.inner.lock().counters.entry(label).or_insert(0) += n;
+    }
+
+    /// Read a counter (0 when never touched).
+    pub fn counter(&self, label: &str) -> u64 {
+        self.inner.lock().counters.get(label).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge_set(&self, label: &'static str, value: f64) {
+        self.inner.lock().gauges.insert(label, value);
+    }
+
+    /// Read a gauge.
+    pub fn gauge(&self, label: &str) -> Option<f64> {
+        self.inner.lock().gauges.get(label).copied()
+    }
+
+    /// Record an observation into a histogram.
+    pub fn observe(&self, label: &'static str, value: f64) {
+        self.inner
+            .lock()
+            .histograms
+            .entry(label)
+            .or_default()
+            .observe(value);
+    }
+
+    /// Estimate a histogram quantile.
+    pub fn histogram_quantile(&self, label: &str, q: f64) -> Option<f64> {
+        self.inner.lock().histograms.get(label)?.quantile(q)
+    }
+
+    /// Fold one completed span into its label's aggregate.
+    pub fn record_span(&self, label: &'static str, elapsed: Duration, depth: u32) {
+        let ns = elapsed.as_nanos();
+        let mut inner = self.inner.lock();
+        let stat = inner.spans.entry(label).or_default();
+        stat.count += 1;
+        stat.total_ns += ns;
+        stat.max_ns = stat.max_ns.max(ns);
+        stat.max_depth = stat.max_depth.max(depth);
+    }
+
+    /// Read a span aggregate.
+    pub fn span_stat(&self, label: &str) -> Option<SpanStat> {
+        self.inner.lock().spans.get(label).copied()
+    }
+
+    /// Dump everything as one JSON object with `counters` / `gauges` /
+    /// `histograms` / `spans` sections.
+    pub fn snapshot(&self) -> Value {
+        let inner = self.inner.lock();
+        let mut counters = Map::new();
+        for (k, v) in &inner.counters {
+            counters.insert(*k, Value::Int(i128::from(*v)));
+        }
+        let mut gauges = Map::new();
+        for (k, v) in &inner.gauges {
+            gauges.insert(*k, Value::Float(*v));
+        }
+        let mut histograms = Map::new();
+        for (k, h) in &inner.histograms {
+            histograms.insert(*k, h.summary());
+        }
+        let mut spans = Map::new();
+        for (k, s) in &inner.spans {
+            spans.insert(*k, s.summary());
+        }
+        let mut out = Map::new();
+        out.insert("counters", Value::Object(counters));
+        out.insert("gauges", Value::Object(gauges));
+        out.insert("histograms", Value::Object(histograms));
+        out.insert("spans", Value::Object(spans));
+        Value::Object(out)
+    }
+
+    /// Drop every recorded metric (used by the test capture harness so
+    /// cases see only their own activity).
+    pub fn reset(&self) {
+        *self.inner.lock() = Inner::default();
+    }
+}

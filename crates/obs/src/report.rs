@@ -1,0 +1,87 @@
+//! Run reports: a final machine-readable JSON summary each bench binary
+//! writes next to its stdout tables (`bench_runs/<scale>/<bin>.report.json`).
+//! The report embeds the full registry snapshot, so per-stage span
+//! timings, counters, and throughput gauges all land in one artifact.
+
+use serde_json::{Map, Value};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Builder for a run's summary artifact.
+#[derive(Debug)]
+pub struct RunReport {
+    bin: &'static str,
+    scale: String,
+    seed: u64,
+    config: Map,
+    started: Instant,
+}
+
+impl RunReport {
+    /// Start a report for one binary invocation. Call as early as
+    /// possible so `elapsed_ms` covers the whole run.
+    pub fn new(bin: &'static str, scale: impl Into<String>, seed: u64) -> RunReport {
+        RunReport {
+            bin,
+            scale: scale.into(),
+            seed,
+            config: Map::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Attach a config/context entry (model names, row counts, …).
+    pub fn set(&mut self, key: impl Into<String>, value: Value) -> &mut RunReport {
+        self.config.insert(key.into(), value);
+        self
+    }
+
+    /// Assemble the report JSON: identity, config, total wall-clock, and
+    /// the global registry snapshot.
+    pub fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("bin", Value::String(self.bin.to_string()));
+        m.insert("scale", Value::String(self.scale.clone()));
+        m.insert("seed", Value::Int(i128::from(self.seed)));
+        m.insert(
+            "elapsed_ms",
+            Value::Float(self.started.elapsed().as_secs_f64() * 1e3),
+        );
+        if !self.config.is_empty() {
+            m.insert("config", Value::Object(self.config.clone()));
+        }
+        m.insert("metrics", crate::snapshot());
+        Value::Object(m)
+    }
+
+    /// Default artifact location for this report.
+    pub fn default_path(&self) -> PathBuf {
+        PathBuf::from("bench_runs")
+            .join(&self.scale)
+            .join(format!("{}.report.json", self.bin))
+    }
+
+    /// Write the report to [`RunReport::default_path`] when telemetry is
+    /// enabled. Disabled runs are a no-op (`Ok(None)`) so the default
+    /// `RSD_OBS=off` behaviour leaves the filesystem untouched.
+    pub fn write(&self) -> std::io::Result<Option<PathBuf>> {
+        if !crate::enabled() {
+            return Ok(None);
+        }
+        let path = self.default_path();
+        self.write_to(&path)?;
+        Ok(Some(path))
+    }
+
+    /// Write the report JSON to an explicit path unconditionally.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_value().to_json_pretty().as_bytes())?;
+        file.write_all(b"\n")?;
+        Ok(())
+    }
+}

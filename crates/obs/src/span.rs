@@ -1,0 +1,63 @@
+//! RAII span timers. `Span::enter("stage.name")` returns a guard; on
+//! drop the elapsed wall-clock is folded into the registry's per-label
+//! aggregate and (when a sink is active) emitted as an NDJSON record.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    /// Current nesting depth on this thread (0 = top level).
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// A running span. Dropping it records the measurement. When telemetry
+/// is disabled this is an inert zero-field guard: no clock read, no
+/// allocation, no lock.
+#[must_use = "a span measures the scope it is bound to; binding to _ drops it immediately"]
+pub struct Span {
+    state: Option<Running>,
+}
+
+struct Running {
+    label: &'static str,
+    started: Instant,
+    depth: u32,
+}
+
+impl Span {
+    /// Start a span if telemetry is enabled, otherwise return a no-op
+    /// guard. The disabled path is one atomic load and a branch.
+    pub fn enter(label: &'static str) -> Span {
+        if !crate::enabled() {
+            return Span { state: None };
+        }
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        Span {
+            state: Some(Running {
+                label,
+                started: Instant::now(),
+                depth,
+            }),
+        }
+    }
+
+    /// Nesting depth of this span (`None` for a disabled no-op guard).
+    pub fn depth(&self) -> Option<u32> {
+        self.state.as_ref().map(|r| r.depth)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(running) = self.state.take() else {
+            return;
+        };
+        let elapsed = running.started.elapsed();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        crate::finish_span(running.label, elapsed, running.depth);
+    }
+}

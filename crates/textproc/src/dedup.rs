@@ -52,10 +52,7 @@ mod tests {
     #[test]
     fn exact_duplicates_found() {
         let bodies = s(&["a b c", "d e f", "a b c", "a b c"]);
-        assert_eq!(
-            find_duplicates(&bodies),
-            vec![None, None, Some(0), Some(0)]
-        );
+        assert_eq!(find_duplicates(&bodies), vec![None, None, Some(0), Some(0)]);
     }
 
     #[test]

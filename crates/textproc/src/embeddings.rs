@@ -138,15 +138,7 @@ impl WordEmbeddings {
                             if neg == context {
                                 continue;
                             }
-                            sgd_pair(
-                                &mut input,
-                                &mut output,
-                                center,
-                                neg,
-                                0.0,
-                                cfg.dim,
-                                cfg.lr,
-                            );
+                            sgd_pair(&mut input, &mut output, center, neg, 0.0, cfg.dim, cfg.lr);
                         }
                     }
                 }

@@ -20,8 +20,8 @@
 //! paper's XGBoost reference [19]).
 
 pub mod clean;
-pub mod embeddings;
 pub mod dedup;
+pub mod embeddings;
 pub mod pipeline;
 pub mod relevance;
 pub mod stopwords;

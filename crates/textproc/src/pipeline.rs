@@ -65,7 +65,11 @@ impl Preprocessor {
     /// Run the pipeline over raw bodies (chronological order expected: the
     /// dedup stage keeps first occurrences).
     pub fn run(&self, raw_bodies: &[String]) -> PreprocessOutcome {
-        let cleaned: Vec<String> = raw_bodies.iter().map(|b| clean_text(b)).collect();
+        let _pipeline = rsd_obs::Span::enter("textproc.pipeline");
+        let cleaned: Vec<String> = {
+            let _s = rsd_obs::Span::enter("textproc.pipeline.clean");
+            raw_bodies.iter().map(|b| clean_text(b)).collect()
+        };
         let mut keep = vec![true; cleaned.len()];
         let mut report = PreprocessReport {
             total: cleaned.len(),
@@ -73,6 +77,7 @@ impl Preprocessor {
         };
 
         if self.filter_irrelevant {
+            let _s = rsd_obs::Span::enter("textproc.pipeline.relevance");
             for (i, c) in cleaned.iter().enumerate() {
                 if keep[i] && !is_relevant(c) {
                     keep[i] = false;
@@ -82,6 +87,7 @@ impl Preprocessor {
         }
 
         if self.remove_duplicates {
+            let _s = rsd_obs::Span::enter("textproc.pipeline.dedup");
             // Dedup runs over all posts (including irrelevant ones) so a
             // relevant repost of a removed original is still caught.
             for (i, dup) in find_duplicates(&cleaned).iter().enumerate() {
@@ -92,14 +98,24 @@ impl Preprocessor {
             }
         }
 
-        for (i, c) in cleaned.iter().enumerate() {
-            if keep[i] && token_count(c) < self.min_tokens {
-                keep[i] = false;
-                report.removed_too_short += 1;
+        {
+            let _s = rsd_obs::Span::enter("textproc.pipeline.length_filter");
+            for (i, c) in cleaned.iter().enumerate() {
+                if keep[i] && token_count(c) < self.min_tokens {
+                    keep[i] = false;
+                    report.removed_too_short += 1;
+                }
             }
         }
 
         report.kept = keep.iter().filter(|&&k| k).count();
+        rsd_obs::counter_add("textproc.posts_in", report.total as u64);
+        rsd_obs::counter_add("textproc.posts_kept", report.kept as u64);
+        rsd_obs::counter_add(
+            "textproc.posts_removed",
+            (report.removed_irrelevant + report.removed_duplicates + report.removed_too_short)
+                as u64,
+        );
         PreprocessOutcome {
             cleaned,
             keep,
@@ -119,10 +135,10 @@ mod tests {
     #[test]
     fn report_accounts_for_every_removal() {
         let raw = bodies(&[
-            "i want to end it all tonight",               // kept
-            "patch notes nerfed my favorite loadout",     // irrelevant
-            "i want to end it all tonight",               // duplicate
-            "suicide",                                    // too short
+            "i want to end it all tonight",           // kept
+            "patch notes nerfed my favorite loadout", // irrelevant
+            "i want to end it all tonight",           // duplicate
+            "suicide",                                // too short
         ]);
         let out = Preprocessor::default().run(&raw);
         assert_eq!(out.report.total, 4);

@@ -16,19 +16,86 @@ use crate::tokenize::tokenize;
 /// keyword screens rather than any operational content.
 pub const THEME_LEXICON: &[&str] = &[
     // crisis vocabulary
-    "suicide", "suicidal", "die", "dying", "death", "kill", "attempt", "attempted", "overdose",
-    "pills", "note", "goodbye", "goodbyes", "hospital", "er", "scars", "cutting", "hurting",
-    "harm", "bridge", "survived", "wake", "waking", "woke", "existing", "disappear", "end",
-    "living", "tried", "doctors",
+    "suicide",
+    "suicidal",
+    "die",
+    "dying",
+    "death",
+    "kill",
+    "attempt",
+    "attempted",
+    "overdose",
+    "pills",
+    "note",
+    "goodbye",
+    "goodbyes",
+    "hospital",
+    "er",
+    "scars",
+    "cutting",
+    "hurting",
+    "harm",
+    "bridge",
+    "survived",
+    "wake",
+    "waking",
+    "woke",
+    "existing",
+    "disappear",
+    "end",
+    "living",
+    "tried",
+    "doctors",
     // preparatory-act vocabulary
-    "bottle", "bought", "collecting", "saved", "drawer", "rehearsing", "drove", "gave",
-    "passwords", "affairs", "cleaned", "list", "found", "hidden", "took", "imagining",
+    "bottle",
+    "bought",
+    "collecting",
+    "saved",
+    "drawer",
+    "rehearsing",
+    "drove",
+    "gave",
+    "passwords",
+    "affairs",
+    "cleaned",
+    "list",
+    "found",
+    "hidden",
+    "took",
+    "imagining",
     // distress vocabulary
-    "hopeless", "worthless", "empty", "numb", "exhausted", "trapped", "broken", "alone",
-    "lonely", "crying", "cried", "tired", "drained", "hollow", "overwhelmed", "therapy", "meds", "depressed",
-    "depression", "anxious", "anxiety", "burned", "invisible",
+    "hopeless",
+    "worthless",
+    "empty",
+    "numb",
+    "exhausted",
+    "trapped",
+    "broken",
+    "alone",
+    "lonely",
+    "crying",
+    "cried",
+    "tired",
+    "drained",
+    "hollow",
+    "overwhelmed",
+    "therapy",
+    "meds",
+    "depressed",
+    "depression",
+    "anxious",
+    "anxiety",
+    "burned",
+    "invisible",
     // support-seeking vocabulary
-    "help", "support", "warning", "signs", "worried", "terrified", "safe", "crisis",
+    "help",
+    "support",
+    "warning",
+    "signs",
+    "worried",
+    "terrified",
+    "safe",
+    "crisis",
 ];
 
 /// Minimum lexicon hits for a post to count as on-topic.

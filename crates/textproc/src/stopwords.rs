@@ -4,20 +4,157 @@
 /// A compact English stopword list: function words that carry no
 //  class-discriminative content for the word-cloud figures.
 pub const STOPWORDS: &[&str] = &[
-    "a", "about", "after", "again", "all", "am", "an", "and", "any", "are", "as", "at", "be",
-    "because", "been", "before", "being", "below", "between", "both", "but", "by", "can",
-    "cannot", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
-    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "herself",
-    "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it", "its", "itself",
-    "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now", "of", "off",
-    "on", "once", "only", "or", "other", "our", "ours", "ourselves", "out", "over", "own",
-    "same", "she", "should", "so", "some", "such", "than", "that", "the", "their", "theirs",
-    "them", "themselves", "then", "there", "these", "they", "this", "those", "through", "to",
-    "too", "under", "until", "up", "very", "was", "we", "were", "what", "when", "where",
-    "which", "while", "who", "whom", "why", "will", "with", "would", "you", "your", "yours",
-    "yourself", "yourselves", "im", "ive", "id", "dont", "cant", "wont", "didnt", "doesnt",
-    "isnt", "wasnt", "couldnt", "shouldnt", "don't", "can't", "won't", "didn't", "doesn't",
-    "isn't", "wasn't", "couldn't", "shouldn't", "i'm", "i've", "i'd", "it's", "that's",
+    "a",
+    "about",
+    "after",
+    "again",
+    "all",
+    "am",
+    "an",
+    "and",
+    "any",
+    "are",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "can",
+    "cannot",
+    "could",
+    "did",
+    "do",
+    "does",
+    "doing",
+    "down",
+    "during",
+    "each",
+    "few",
+    "for",
+    "from",
+    "further",
+    "had",
+    "has",
+    "have",
+    "having",
+    "he",
+    "her",
+    "here",
+    "hers",
+    "herself",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "i",
+    "if",
+    "in",
+    "into",
+    "is",
+    "it",
+    "its",
+    "itself",
+    "just",
+    "me",
+    "more",
+    "most",
+    "my",
+    "myself",
+    "no",
+    "nor",
+    "not",
+    "now",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "same",
+    "she",
+    "should",
+    "so",
+    "some",
+    "such",
+    "than",
+    "that",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "these",
+    "they",
+    "this",
+    "those",
+    "through",
+    "to",
+    "too",
+    "under",
+    "until",
+    "up",
+    "very",
+    "was",
+    "we",
+    "were",
+    "what",
+    "when",
+    "where",
+    "which",
+    "while",
+    "who",
+    "whom",
+    "why",
+    "will",
+    "with",
+    "would",
+    "you",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
+    "im",
+    "ive",
+    "id",
+    "dont",
+    "cant",
+    "wont",
+    "didnt",
+    "doesnt",
+    "isnt",
+    "wasnt",
+    "couldnt",
+    "shouldnt",
+    "don't",
+    "can't",
+    "won't",
+    "didn't",
+    "doesn't",
+    "isn't",
+    "wasn't",
+    "couldn't",
+    "shouldn't",
+    "i'm",
+    "i've",
+    "i'd",
+    "it's",
+    "that's",
 ];
 
 /// Membership test (linear scan over a small static list is fine: the list

@@ -179,12 +179,7 @@ mod tests {
     use super::*;
 
     fn fit_basic() -> TfIdfVectorizer {
-        TfIdfVectorizer::fit(
-            vec!["the cat sat", "the dog sat", "the bird flew"],
-            1,
-            None,
-        )
-        .unwrap()
+        TfIdfVectorizer::fit(vec!["the cat sat", "the dog sat", "the bird flew"], 1, None).unwrap()
     }
 
     #[test]
@@ -222,24 +217,14 @@ mod tests {
 
     #[test]
     fn min_df_filters() {
-        let v = TfIdfVectorizer::fit(
-            vec!["a b", "a c", "a d"],
-            2,
-            None,
-        )
-        .unwrap();
+        let v = TfIdfVectorizer::fit(vec!["a b", "a c", "a d"], 2, None).unwrap();
         assert!(v.term_index("a").is_some());
         assert!(v.term_index("b").is_none());
     }
 
     #[test]
     fn max_features_keeps_highest_df() {
-        let v = TfIdfVectorizer::fit(
-            vec!["a b", "a c", "a b"],
-            1,
-            Some(2),
-        )
-        .unwrap();
+        let v = TfIdfVectorizer::fit(vec!["a b", "a c", "a b"], 1, Some(2)).unwrap();
         assert_eq!(v.dim(), 2);
         assert!(v.term_index("a").is_some());
         assert!(v.term_index("b").is_some());

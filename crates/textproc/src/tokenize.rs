@@ -79,10 +79,7 @@ mod tests {
     #[test]
     fn bigrams() {
         let toks = tokenize("i want to die");
-        assert_eq!(
-            ngrams(&toks, 2),
-            vec!["i want", "want to", "to die"]
-        );
+        assert_eq!(ngrams(&toks, 2), vec!["i want", "want to", "to die"]);
         assert!(ngrams(&toks, 5).is_empty());
         assert!(ngrams(&toks, 0).is_empty());
     }

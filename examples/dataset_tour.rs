@@ -48,7 +48,10 @@ fn main() -> Result<()> {
 
     // User-disjoint 5-fold CV.
     let folds = kfold(&dataset, 5, 5, seed)?;
-    println!("5-fold CV: test sizes {:?}", folds.iter().map(|(_, t)| t.len()).collect::<Vec<_>>());
+    println!(
+        "5-fold CV: test sizes {:?}",
+        folds.iter().map(|(_, t)| t.len()).collect::<Vec<_>>()
+    );
 
     // Trajectory analytics.
     let traj = trajectory_report(&dataset);

@@ -7,8 +7,8 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use rsd15k::prelude::*;
 use rsd15k::dataset::stats::class_distribution;
+use rsd15k::prelude::*;
 
 fn main() -> Result<()> {
     let seed = 7;
@@ -33,11 +33,20 @@ fn main() -> Result<()> {
 
     println!("\n== Table I (this build) ==");
     for row in class_distribution(&dataset) {
-        println!("  {:<10} {:>5}  {:>6.2}%", row.category, row.count, row.percentage);
+        println!(
+            "  {:<10} {:>5}  {:>6.2}%",
+            row.category, row.count, row.percentage
+        );
     }
 
     println!("\n== user-level task: 80/10/10 user-disjoint split, window = 5 ==");
-    let splits = DatasetSplits::new(&dataset, SplitConfig { seed, ..Default::default() })?;
+    let splits = DatasetSplits::new(
+        &dataset,
+        SplitConfig {
+            seed,
+            ..Default::default()
+        },
+    )?;
     println!(
         "  train {} / valid {} / test {} users",
         splits.train.len(),

@@ -7,15 +7,21 @@
 //!
 //! Run: `cargo run --release --example risk_monitor`
 
+use rsd15k::dataset::splits::post_level_windows;
 use rsd15k::features::FeatureExtractor;
 use rsd15k::gbdt::{BinnedMatrix, Booster, BoosterConfig};
-use rsd15k::dataset::splits::post_level_windows;
 use rsd15k::prelude::*;
 
 fn main() -> Result<()> {
     let seed = 13;
     let (dataset, _) = DatasetBuilder::new(BuildConfig::scaled(seed, 4_000, 80)).build()?;
-    let splits = DatasetSplits::new(&dataset, SplitConfig { seed, ..Default::default() })?;
+    let splits = DatasetSplits::new(
+        &dataset,
+        SplitConfig {
+            seed,
+            ..Default::default()
+        },
+    )?;
 
     // Train on post-level windows of training users.
     let mut train_windows = Vec::new();
@@ -31,7 +37,13 @@ fn main() -> Result<()> {
         &matrix,
         &y,
         None,
-        BoosterConfig { n_classes: 4, n_rounds: 60, early_stopping: 0, seed, ..Default::default() },
+        BoosterConfig {
+            n_classes: 4,
+            n_rounds: 60,
+            early_stopping: 0,
+            seed,
+            ..Default::default()
+        },
     )?;
 
     // Monitor the most active test user.
@@ -39,11 +51,23 @@ fn main() -> Result<()> {
         .test
         .iter()
         .max_by_key(|w| {
-            dataset.users.iter().find(|u| u.id == w.user).map_or(0, |u| u.post_indices.len())
+            dataset
+                .users
+                .iter()
+                .find(|u| u.id == w.user)
+                .map_or(0, |u| u.post_indices.len())
         })
         .expect("non-empty test split");
-    let user = dataset.users.iter().find(|u| u.id == test_user.user).expect("user");
-    println!("monitoring user {} ({} posts):\n", user.id, user.post_indices.len());
+    let user = dataset
+        .users
+        .iter()
+        .find(|u| u.id == test_user.user)
+        .expect("user");
+    println!(
+        "monitoring user {} ({} posts):\n",
+        user.id,
+        user.post_indices.len()
+    );
 
     let mut prev_level: Option<RiskLevel> = None;
     for window in post_level_windows(&dataset, user, 5, usize::MAX) {
@@ -64,7 +88,11 @@ fn main() -> Result<()> {
             pred.name(),
             probs[pred_idx],
             window.label.name(),
-            if escalated { "<-- ESCALATION ALERT" } else { "" }
+            if escalated {
+                "<-- ESCALATION ALERT"
+            } else {
+                ""
+            }
         );
         prev_level = Some(pred);
     }

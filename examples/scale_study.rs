@@ -3,8 +3,8 @@
 //!
 //! Run: `cargo run --release --example scale_study`
 
-use rsd15k::models::scale::run_scale_study;
 use rsd15k::models::pretrain::PretrainConfig;
+use rsd15k::models::scale::run_scale_study;
 use rsd15k::prelude::*;
 
 fn main() -> Result<()> {
@@ -15,29 +15,56 @@ fn main() -> Result<()> {
     // Scaled-down configs that keep the Large-vs-Base contrast.
     let large = PlmConfig {
         pretrain_texts: 400,
-        pretrain: PretrainConfig { epochs: 1, ..Default::default() },
-        train: TrainConfig { epochs: 6, balanced: true, ..Default::default() },
+        pretrain: PretrainConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            epochs: 6,
+            balanced: true,
+            ..Default::default()
+        },
         ..PlmConfig::large(PlmKind::Deberta)
     };
     let base = PlmConfig {
         pretrain_texts: 400,
-        pretrain: PretrainConfig { epochs: 1, ..Default::default() },
-        train: TrainConfig { epochs: 4, ..Default::default() },
+        pretrain: PretrainConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+        train: TrainConfig {
+            epochs: 4,
+            ..Default::default()
+        },
         ..PlmConfig::base(PlmKind::Deberta)
     };
 
     let rows = run_scale_study(&dataset, &unlabeled, 40, large, base, seed)?;
-    println!("Table IV scenario (scaled): DeBERTa Large+opt on 40 users vs Base+defaults on {} users\n", dataset.n_users());
-    println!("{:<6} {:<6} {:<5} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9}",
-        "Data", "Model", "Opt", "IN", "ID", "BR", "AT", "M-F1", "Acc", "params");
+    println!(
+        "Table IV scenario (scaled): DeBERTa Large+opt on 40 users vs Base+defaults on {} users\n",
+        dataset.n_users()
+    );
+    println!(
+        "{:<6} {:<6} {:<5} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>9}",
+        "Data", "Model", "Opt", "IN", "ID", "BR", "AT", "M-F1", "Acc", "params"
+    );
     for r in rows {
         println!(
             "{:<6} {:<6} {:<5} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>5.0}% {:>9}",
-            r.data, r.model, if r.optimized { "Full" } else { "No" },
-            r.class_f1[0], r.class_f1[1], r.class_f1[2], r.class_f1[3],
-            r.macro_f1, r.accuracy * 100.0, r.params
+            r.data,
+            r.model,
+            if r.optimized { "Full" } else { "No" },
+            r.class_f1[0],
+            r.class_f1[1],
+            r.class_f1[2],
+            r.class_f1[3],
+            r.macro_f1,
+            r.accuracy * 100.0,
+            r.params
         );
     }
-    println!("\nPaper Table IV: 500/Large/Full -> 0.74 M-F1, 74% acc; 15K/Base/No -> 0.70 M-F1, 76% acc");
+    println!(
+        "\nPaper Table IV: 500/Large/Full -> 0.74 M-F1, 74% acc; 15K/Base/No -> 0.70 M-F1, 76% acc"
+    );
     Ok(())
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: formatting, lint on the telemetry crate, release build,
+# full test suite, and a smoke-scale telemetry run that checks the NDJSON
+# sink and run-report artifacts are well-formed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -p rsd-obs (-D warnings)"
+cargo clippy -p rsd-obs --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> telemetry smoke run (RSD_SCALE=smoke)"
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+RSD_SCALE=smoke RSD_OBS="$obs_tmp/table1.ndjson" \
+    cargo run --release -q -p rsd-bench --bin table1 >"$obs_tmp/table1.out"
+test -s "$obs_tmp/table1.ndjson" || { echo "NDJSON sink empty"; exit 1; }
+test -s bench_runs/small/table1.report.json || { echo "run report missing"; exit 1; }
+
+echo "CI gate passed."

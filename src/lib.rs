@@ -11,7 +11,10 @@
 //!
 //! This crate is the facade: it re-exports every subsystem and provides
 //! [`prelude`] for one-line imports. See `README.md` for the architecture
-//! tour and `EXPERIMENTS.md` for paper-vs-measured numbers.
+//! tour and `EXPERIMENTS.md` for paper-vs-measured numbers. Every pipeline
+//! stage is instrumented with the [`obs`] telemetry layer — set
+//! `RSD_OBS=stderr` (or a `.ndjson` path) to stream span timings, counters
+//! and gauges; the default (`RSD_OBS` unset) is zero-overhead off.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@ pub use rsd_features as features;
 pub use rsd_gbdt as gbdt;
 pub use rsd_models as models;
 pub use rsd_nn as nn;
+pub use rsd_obs as obs;
 pub use rsd_text as text;
 
 /// The most commonly used types, re-exported flat.
@@ -56,5 +60,6 @@ pub mod prelude {
         BenchData, BiLstmBaseline, BiLstmConfig, HiGruBaseline, HiGruConfig, PlmBaseline,
         PlmConfig, PlmKind, TrainConfig, XgboostBaseline, XgboostConfig,
     };
+    pub use rsd_obs::{RunReport, Span};
     pub use rsd_text::Preprocessor;
 }

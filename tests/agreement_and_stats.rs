@@ -39,12 +39,18 @@ fn bootstrap_interval_covers_across_seeds() {
     // point estimate from another seed's sample of the same process.
     let truth: Vec<usize> = (0..150).map(|i| i % 4).collect();
     let noisy = |seed: u64| -> Vec<usize> {
-        use rsd15k::common::rng::stream_rng;
         use rand::Rng;
+        use rsd15k::common::rng::stream_rng;
         let mut rng = stream_rng(seed, "test.noise");
         truth
             .iter()
-            .map(|&t| if rng.gen::<f64>() < 0.2 { (t + 1) % 4 } else { t })
+            .map(|&t| {
+                if rng.gen::<f64>() < 0.2 {
+                    (t + 1) % 4
+                } else {
+                    t
+                }
+            })
             .collect()
     };
     let (acc_a, _) = bootstrap_metrics(4, &truth, &noisy(1), 300, 0.95, 1).unwrap();
@@ -58,18 +64,30 @@ fn bootstrap_interval_covers_across_seeds() {
 #[test]
 fn mcnemar_detects_real_model_gaps() {
     // Simulate a strictly better model: B fixes a third of A's errors.
-    use rsd15k::common::rng::stream_rng;
     use rand::Rng;
+    use rsd15k::common::rng::stream_rng;
     let truth: Vec<usize> = (0..400).map(|i| i % 4).collect();
     let mut rng = stream_rng(9, "test.mcnemar");
     let pred_a: Vec<usize> = truth
         .iter()
-        .map(|&t| if rng.gen::<f64>() < 0.4 { (t + 1) % 4 } else { t })
+        .map(|&t| {
+            if rng.gen::<f64>() < 0.4 {
+                (t + 1) % 4
+            } else {
+                t
+            }
+        })
         .collect();
     let pred_b: Vec<usize> = truth
         .iter()
         .zip(&pred_a)
-        .map(|(&t, &a)| if a != t && rng.gen::<f64>() < 0.5 { t } else { a })
+        .map(|(&t, &a)| {
+            if a != t && rng.gen::<f64>() < 0.5 {
+                t
+            } else {
+                a
+            }
+        })
         .collect();
     let out = mcnemar(&truth, &pred_a, &pred_b).unwrap();
     assert!(out.b_only > out.a_only);

@@ -36,9 +36,30 @@ fn split_and_model_seeds_are_independent_of_build() {
     let (dataset, _) = DatasetBuilder::new(BuildConfig::scaled(8004, 2_000, 30))
         .build()
         .unwrap();
-    let s1 = DatasetSplits::new(&dataset, SplitConfig { seed: 1, ..Default::default() }).unwrap();
-    let s2 = DatasetSplits::new(&dataset, SplitConfig { seed: 1, ..Default::default() }).unwrap();
-    let s3 = DatasetSplits::new(&dataset, SplitConfig { seed: 2, ..Default::default() }).unwrap();
+    let s1 = DatasetSplits::new(
+        &dataset,
+        SplitConfig {
+            seed: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let s2 = DatasetSplits::new(
+        &dataset,
+        SplitConfig {
+            seed: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let s3 = DatasetSplits::new(
+        &dataset,
+        SplitConfig {
+            seed: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_eq!(s1.train, s2.train);
     assert_ne!(s1.train, s3.train);
 }

@@ -15,8 +15,15 @@ fn bench_fixture() -> (Rsd15k, DatasetSplits, Vec<String>) {
 #[test]
 fn xgboost_beats_uniform_chance() {
     let (dataset, splits, _) = bench_fixture();
-    let data = BenchData { dataset: &dataset, splits: &splits, unlabeled: &[], seed: 9001 };
-    let outcome = XgboostBaseline::new(XgboostConfig::default()).run(&data).unwrap();
+    let data = BenchData {
+        dataset: &dataset,
+        splits: &splits,
+        unlabeled: &[],
+        seed: 9001,
+    };
+    let outcome = XgboostBaseline::new(XgboostConfig::default())
+        .run(&data)
+        .unwrap();
     assert!(
         outcome.report.accuracy >= 0.25,
         "acc {}",
@@ -34,7 +41,12 @@ fn all_neural_baselines_run() {
         unlabeled: &unlabeled,
         seed: 9001,
     };
-    let tiny_train = TrainConfig { epochs: 1, batch: 8, patience: 0, ..Default::default() };
+    let tiny_train = TrainConfig {
+        epochs: 1,
+        batch: 8,
+        patience: 0,
+        ..Default::default()
+    };
 
     let bilstm = BiLstmBaseline::new(BiLstmConfig {
         max_vocab: 400,
@@ -72,7 +84,10 @@ fn all_neural_baselines_run() {
             heads: 2,
             ffn_dim: 16,
             pretrain_texts: 40,
-            pretrain: PretrainConfig { epochs: 1, ..Default::default() },
+            pretrain: PretrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
             train: tiny_train.clone(),
             ..PlmConfig::base(kind)
         })

@@ -1,0 +1,87 @@
+//! Facade-level telemetry smoke test: a tiny end-to-end dataset build with
+//! the NDJSON sink pointed at a temp file, then structural checks on both
+//! the event stream and the RunReport artifact.
+//!
+//! Kept as a single `#[test]` because the telemetry mode latches on first
+//! use — one test owns the process-wide sink for this binary.
+
+use rsd15k::obs;
+use rsd15k::prelude::*;
+use rsd_bench::{Prepared, Scale};
+
+#[test]
+fn ndjson_sink_and_run_report_round_trip() {
+    let dir = std::env::temp_dir().join(format!("rsd_obs_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ndjson = dir.join("events.ndjson");
+
+    // Latch telemetry to the temp file before any instrumented code runs.
+    assert!(obs::init(obs::Mode::File(ndjson.clone())));
+    assert!(obs::enabled());
+
+    let prepared = Prepared::build(Scale::Small, 77);
+    assert!(prepared.dataset.n_posts() > 0);
+
+    let mut run = RunReport::new("obs_smoke", "small", 77);
+    run.set("posts", obs::Value::Int(prepared.dataset.n_posts() as i128));
+    let report_path = dir.join("obs_smoke.report.json");
+    run.write_to(&report_path).unwrap();
+    obs::flush();
+
+    // Every sink line must parse as a JSON object with the record envelope.
+    let raw = std::fs::read_to_string(&ndjson).unwrap();
+    let records: Vec<rsd15k::obs::Value> = raw
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("malformed NDJSON line"))
+        .collect();
+    assert!(!records.is_empty(), "sink captured no events");
+    for r in &records {
+        assert!(
+            !matches!(r["ts_ms"], obs::Value::Null),
+            "missing ts_ms: {r}"
+        );
+        assert!(!matches!(r["kind"], obs::Value::Null), "missing kind: {r}");
+        assert!(
+            !matches!(r["label"], obs::Value::Null),
+            "missing label: {r}"
+        );
+    }
+
+    // The build must have produced spans for every major pipeline stage.
+    let span_labels: Vec<&str> = records
+        .iter()
+        .filter(|r| r["kind"] == "span")
+        .filter_map(|r| r["label"].as_str())
+        .collect();
+    for expected in [
+        "bench.prepare",
+        "dataset.build",
+        "dataset.build.crawl",
+        "corpus.generate",
+        "textproc.pipeline",
+        "annotation.campaign",
+        "annotation.campaign.day",
+    ] {
+        assert!(
+            span_labels.contains(&expected),
+            "no span record for {expected}; saw {span_labels:?}"
+        );
+    }
+
+    // The report JSON embeds identity, wall-clock, and the metrics snapshot.
+    let report: rsd15k::obs::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    assert_eq!(report["bin"], "obs_smoke");
+    assert_eq!(report["scale"], "small");
+    assert_eq!(report["seed"], 77);
+    assert!(!matches!(report["elapsed_ms"], obs::Value::Null));
+    let spans = &report["metrics"]["spans"];
+    assert!(
+        !matches!(spans["dataset.build"], obs::Value::Null),
+        "report metrics missing dataset.build span stat: {report}"
+    );
+    let counters = &report["metrics"]["counters"];
+    assert!(!matches!(counters["textproc.posts_in"], obs::Value::Null));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -33,7 +33,10 @@ fn splits_are_user_disjoint_and_windowed() {
     assert_eq!(splits.total(), dataset.n_users());
     for w in splits.train.iter().chain(&splits.valid).chain(&splits.test) {
         assert!(!w.post_indices.is_empty() && w.post_indices.len() <= 5);
-        assert_eq!(w.label, dataset.posts[*w.post_indices.last().unwrap()].label);
+        assert_eq!(
+            w.label,
+            dataset.posts[*w.post_indices.last().unwrap()].label
+        );
     }
 }
 
@@ -58,8 +61,16 @@ fn annotation_quality_gates_hold() {
     let (_, report) = build();
     let c = &report.campaign;
     assert!(c.kappa_items > 0);
-    assert!((0.55..=0.90).contains(&c.fleiss_kappa), "kappa {}", c.fleiss_kappa);
-    assert!(c.label_accuracy > 0.80, "label accuracy {}", c.label_accuracy);
+    assert!(
+        (0.55..=0.90).contains(&c.fleiss_kappa),
+        "kappa {}",
+        c.fleiss_kappa
+    );
+    assert!(
+        c.label_accuracy > 0.80,
+        "label accuracy {}",
+        c.label_accuracy
+    );
     let passed = c.days.iter().filter(|d| d.passed).count();
     assert!(passed * 10 >= c.days.len() * 8, "most inspection days pass");
     for q in &c.qualification {

@@ -28,7 +28,10 @@ fn crawl_equals_direct_enumeration() {
         )
         .unwrap();
     assert_eq!(crawled.len(), expected.len());
-    assert_eq!(crawled, expected, "crawl must see every post exactly once, in order");
+    assert_eq!(
+        crawled, expected,
+        "crawl must see every post exactly once, in order"
+    );
 }
 
 #[test]

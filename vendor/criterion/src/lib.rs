@@ -1,0 +1,184 @@
+//! Offline clean-room stub of the `criterion` API surface this
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally minimal: each benchmark runs
+//! `sample_size` timed iterations and reports the mean and best
+//! wall-clock per iteration on stdout. Under `cargo test` (when the
+//! harness passes `--test`) each benchmark runs exactly once as a smoke
+//! check, mirroring real criterion's test-mode behaviour.
+
+use std::time::{Duration, Instant};
+
+/// Hint the optimizer to keep a value (and its computation) alive.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub runs one routine
+/// call per setup call regardless of size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`];
+/// collects per-iteration timings.
+pub struct Bencher {
+    iterations: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` for the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo test` runs harness=false bench binaries with `--test`:
+        // run every benchmark once so benches stay compile- and
+        // run-checked without dominating the test wall-clock.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Run one benchmark and print its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        let iterations = if self.test_mode { 1 } else { self.sample_size };
+        let mut b = Bencher {
+            iterations,
+            samples: Vec::with_capacity(iterations as usize),
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {id} ... ok");
+        } else if !b.samples.is_empty() {
+            let total: Duration = b.samples.iter().sum();
+            let mean = total / b.samples.len() as u32;
+            let best = b.samples.iter().min().copied().unwrap_or_default();
+            println!(
+                "{id:<48} mean {mean:>12?}   best {best:>12?}   ({} iters)",
+                b.samples.len()
+            );
+        }
+        self
+    }
+
+    /// Compatibility no-op (real criterion parses CLI flags here).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Compatibility no-op invoked by [`criterion_main!`].
+    pub fn final_summary(&self) {}
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routines() {
+        let mut runs = 0u32;
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+        };
+        c.bench_function("stub/counts", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_pairs_setup_and_routine() {
+        let mut c = Criterion {
+            sample_size: 4,
+            test_mode: false,
+        };
+        let mut seen = Vec::new();
+        c.bench_function("stub/batched", |b| {
+            let mut next = 0u32;
+            b.iter_batched(
+                || {
+                    next += 1;
+                    next
+                },
+                |v| seen.push(v),
+                BatchSize::SmallInput,
+            );
+        });
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+    }
+}

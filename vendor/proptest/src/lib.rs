@@ -1,0 +1,267 @@
+//! Offline clean-room stub of the `proptest` API surface this workspace
+//! uses: the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`]
+//! macros, numeric-range and regex-literal strategies, tuple strategies,
+//! and [`collection::vec`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the case number and the generated inputs' seed, which — together with
+//! deterministic per-test seeding — is enough to reproduce.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Runner configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Value generators. `&self` so range expressions (non-`Copy` iterator
+/// types) can be re-sampled every case.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Character pool for `.`-pattern strings: ASCII letters (both cases),
+/// digits, whitespace/punctuation that exercises the text pipeline, and
+/// a few multibyte chars so UTF-8 boundaries get coverage.
+const CHAR_POOL: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', 'A', 'B', 'C', 'D', 'E', 'Z', '0', '1', '2', '9', ' ', ' ',
+    ' ', '.', ',', '!', '?', ':', '/', '\'', '"', '-', '_', '(', ')', '#', '@', 'é', 'ü', '中',
+    '😀', '\t',
+];
+
+/// String strategy from a regex literal. Supported pattern: `.{m,n}`
+/// (any-char strings with length in `[m, n]`); anything else falls back
+/// to length `0..=64` over the same pool.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 64));
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| CHAR_POOL[rng.gen_range(0..CHAR_POOL.len())])
+            .collect()
+    }
+}
+
+/// Parse `.{m,n}` into `(m, n)`.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    /// `vec(element, len_range)` — proptest's vector strategy.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            lo: len.start,
+            hi_exclusive: len.end,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.lo..self.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// FNV-1a, used to derive a deterministic per-property seed from the
+/// test name.
+#[doc(hidden)]
+pub fn __seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub use rand::rngs::StdRng as __StdRng;
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{collection, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs [$cfg] $($rest)*);
+    };
+    (@funcs [$cfg:expr]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                use $crate::__SeedableRng as _;
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __seed = $crate::__seed_for(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::__StdRng::seed_from_u64(
+                        __seed ^ u64::from(__case),
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __result: Result<(), String> = (|| { $body Ok(()) })();
+                    if let Err(__msg) = __result {
+                        panic!(
+                            "property {} failed at case {}/{} (seed {:#x}): {}",
+                            stringify!($name), __case, __cfg.cases, __seed, __msg,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs [$crate::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+/// Assert inside a [`proptest!`] body; failures report the generated
+/// case instead of unwinding bare.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assert inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&($left), &($right));
+        if !(*__l == *__r) {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn ranges_in_bounds(x in 3u64..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        fn strings_obey_length(s in ".{0,20}") {
+            prop_assert!(s.chars().count() <= 20);
+        }
+
+        fn vecs_obey_length(v in collection::vec((0u32..4, 0.0f32..1.0), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (a, b) in &v {
+                prop_assert!(*a < 4);
+                prop_assert!((0.0..1.0).contains(b));
+            }
+        }
+    }
+
+    #[test]
+    fn dot_repeat_parses() {
+        assert_eq!(super::parse_dot_repeat(".{0,200}"), Some((0, 200)));
+        assert_eq!(super::parse_dot_repeat("[a-z]+"), None);
+    }
+}

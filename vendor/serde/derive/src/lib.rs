@@ -1,0 +1,428 @@
+//! Offline clean-room stub of serde's `#[derive(Serialize, Deserialize)]`.
+//!
+//! Implemented without `syn`/`quote` (neither is available offline): the
+//! input `TokenStream` is walked directly, and the generated impls are
+//! assembled as source strings and re-parsed. Supports the shapes this
+//! workspace actually derives on:
+//!
+//! - structs with named fields  → JSON objects
+//! - tuple structs with one field (newtypes) → transparent inner value
+//! - enums with unit variants   → `"Variant"` strings
+//! - enums with struct variants → `{"Variant": {…fields…}}`
+//! - enums with one-field tuple variants → `{"Variant": value}`
+//!
+//! `#[serde(...)]` attributes are accepted and ignored — the only one in
+//! use, `transparent`, matches the default newtype behaviour here.
+//! Generic types are not supported (none are derived in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the deriving type.
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, …);` — number of unnamed fields.
+    TupleStruct(usize),
+    /// `enum E { … }` — one entry per variant.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Number of unnamed fields.
+    Tuple(usize),
+    /// Named field list.
+    Struct(Vec<String>),
+}
+
+/// JSON key for a field identifier: raw identifiers (`r#type`) serialize
+/// without the `r#` prefix, matching real serde.
+fn json_key(ident: &str) -> &str {
+    ident.strip_prefix("r#").unwrap_or(ident)
+}
+
+/// Walk past attributes (`#[...]`) and visibility (`pub`, `pub(...)`),
+/// returning the index of the next significant token.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the `[...]` group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a field-list token sequence on top-level commas, tracking `<>`
+/// depth so generic arguments (`BTreeMap<String, u32>`) don't split.
+fn count_top_level_fields(tokens: &[TokenTree]) -> usize {
+    let mut fields = 0;
+    let mut angle = 0i32;
+    let mut any = false;
+    for t in tokens {
+        any = true;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => fields += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma doesn't add a field; no trailing comma adds one.
+    if any {
+        let trailing = matches!(
+            tokens.last(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ','
+        );
+        if !trailing {
+            fields += 1;
+        }
+    }
+    fields
+}
+
+/// Parse `{ a: T, b: U, … }` contents into the field-name list.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        names.push(name.to_string());
+        // Skip to the next top-level comma (past `: Type`).
+        let mut angle = 0i32;
+        i += 1;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Parse `enum` body contents into the variant list.
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Tuple(count_top_level_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip any discriminant (`= expr`) up to the next comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Parse the deriving item into its name and [`Shape`].
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut is_enum = false;
+    // Find the `struct` / `enum` keyword.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                break;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive stub: no struct/enum found"),
+        }
+    }
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported ({name})");
+    }
+    // Body: brace group (named struct / enum), paren group (tuple struct),
+    // or `;` (unit struct — not used here).
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if is_enum {
+                Shape::Enum(parse_variants(&inner))
+            } else {
+                Shape::NamedStruct(parse_named_fields(&inner))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::TupleStruct(count_top_level_fields(&inner))
+        }
+        other => panic!("serde_derive stub: unsupported item body {other:?}"),
+    };
+    (name, shape)
+}
+
+/// `#[derive(Serialize)]` — emits a `serde::Serialize` (to_value) impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut __map = serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__map.insert(\"{key}\", serde::Serialize::to_value(&self.{f}));\n",
+                    key = json_key(f),
+                ));
+            }
+            s.push_str("serde::Value::Object(__map)");
+            s
+        }
+        Shape::TupleStruct(1) => {
+            // Newtypes are transparent, matching serde's newtype handling.
+            "serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("serde::Value::Array(vec![{items}])")
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => serde::Value::String(\"{v}\".to_string()),\n",
+                        v = v.name,
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds = (0..*n)
+                            .map(|i| format!("__f{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let payload = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(__f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("serde::Value::Array(vec![{items}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut __outer = serde::Map::new();\n\
+                             __outer.insert(\"{v}\", {payload});\n\
+                             serde::Value::Object(__outer)\n\
+                             }}\n",
+                            v = v.name,
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inserts = String::new();
+                        for f in fields {
+                            inserts.push_str(&format!(
+                                "__inner.insert(\"{key}\", serde::Serialize::to_value({f}));\n",
+                                key = json_key(f),
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut __inner = serde::Map::new();\n\
+                             {inserts}\
+                             let mut __outer = serde::Map::new();\n\
+                             __outer.insert(\"{v}\", serde::Value::Object(__inner));\n\
+                             serde::Value::Object(__outer)\n\
+                             }}\n",
+                            v = v.name,
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl failed to parse")
+}
+
+/// `#[derive(Deserialize)]` — emits a `serde::Deserialize` (from_value)
+/// impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 serde::Error::custom(\"{name}: expected object\"))?;\n\
+                 let _ = __obj;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: serde::Deserialize::from_value(\
+                     __obj.get(\"{key}\").unwrap_or(&serde::Value::Null))?,\n",
+                    key = json_key(f),
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let mut s = format!(
+                "let __arr = __value.as_array().ok_or_else(|| \
+                 serde::Error::custom(\"{name}: expected array\"))?;\n\
+                 if __arr.len() != {n} {{\n\
+                 return Err(serde::Error::custom(\"{name}: wrong arity\"));\n\
+                 }}\n\
+                 Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!("serde::Deserialize::from_value(&__arr[{i}])?,\n"));
+            }
+            s.push_str("))");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms
+                        .push_str(&format!("\"{v}\" => return Ok({name}::{v}),\n", v = v.name,)),
+                    VariantKind::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!(
+                                "return Ok({name}::{v}(\
+                                 serde::Deserialize::from_value(__payload)?));",
+                                v = v.name,
+                            )
+                        } else {
+                            let mut s = format!(
+                                "let __arr = __payload.as_array().ok_or_else(|| \
+                                 serde::Error::custom(\"{name}::{v}: expected array\"))?;\n\
+                                 return Ok({name}::{v}(\n",
+                                v = v.name,
+                            );
+                            for i in 0..*n {
+                                s.push_str(&format!(
+                                    "serde::Deserialize::from_value(&__arr[{i}])?,\n"
+                                ));
+                            }
+                            s.push_str("));");
+                            s
+                        };
+                        keyed_arms.push_str(&format!("\"{v}\" => {{ {build} }}\n", v = v.name,));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut s = format!(
+                            "let __inner = __payload.as_object().ok_or_else(|| \
+                             serde::Error::custom(\"{name}::{v}: expected object\"))?;\n\
+                             let _ = __inner;\n\
+                             return Ok({name}::{v} {{\n",
+                            v = v.name,
+                        );
+                        for f in fields {
+                            s.push_str(&format!(
+                                "{f}: serde::Deserialize::from_value(\
+                                 __inner.get(\"{key}\").unwrap_or(&serde::Value::Null))?,\n",
+                                key = json_key(f),
+                            ));
+                        }
+                        s.push_str("});");
+                        keyed_arms.push_str(&format!("\"{v}\" => {{ {s} }}\n", v = v.name,));
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __value.as_str() {{\n\
+                 match __s {{\n{unit_arms}\
+                 _ => return Err(serde::Error::custom(\
+                 format!(\"{name}: unknown variant {{__s}}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 if let Some(__obj) = __value.as_object() {{\n\
+                 if let Some((__k, __payload)) = __obj.iter().next() {{\n\
+                 match __k.as_str() {{\n{keyed_arms}\
+                 _ => return Err(serde::Error::custom(\
+                 format!(\"{name}: unknown variant {{__k}}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n\
+                 Err(serde::Error::custom(\"{name}: expected variant\"))"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+         {body}\n}}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl failed to parse")
+}

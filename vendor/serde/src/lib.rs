@@ -1,0 +1,320 @@
+//! Offline clean-room stub of the `serde` API surface this workspace uses.
+//!
+//! The real serde's visitor-based data model is replaced by a simpler
+//! value model: [`Serialize`] lowers a type into a [`Value`] tree and
+//! [`Deserialize`] lifts it back out. This is sufficient because the only
+//! data format consumed in this workspace is the sibling `serde_json`
+//! stub, which (de)serializes exactly this [`Value`] tree.
+
+mod value;
+
+pub use value::{Map, Value};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Error raised when lifting a [`Value`] back into a typed structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Construct an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Produce the value-tree representation.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Lift a value tree back into `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        Error::custom(format!(
+                            "integer {} out of range for {}",
+                            i,
+                            stringify!($t)
+                        ))
+                    }),
+                    // Tolerate floats that are exactly integral (JSON has
+                    // one number type).
+                    Value::Float(f) if f.fract() == 0.0 => {
+                        Ok(*f as i128 as $t)
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected integer, found {other}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| Error::custom(format!(
+                        "expected number, found {value}"
+                    )))
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, found {value}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, found {value}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected single-char string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, found {value}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        let got = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of {N}, found {got}")))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for stable output: HashMap iteration order is nondeterministic.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut map = Map::new();
+        for k in keys {
+            map.insert(k.clone(), self[k].to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, found {value}")))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(k.clone(), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, found {value}")))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let arr = value.as_array().ok_or_else(|| {
+                    Error::custom(format!("expected tuple array, found {value}"))
+                })?;
+                let want = [$($idx),+].len();
+                if arr.len() != want {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {want}, found {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )+};
+}
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
