@@ -171,6 +171,12 @@ impl CorpusGenerator {
     }
 
     /// Generate the full raw corpus deterministically.
+    ///
+    /// Users are drafted in parallel — each from its own seeded substream,
+    /// with post ids local to the user — then stitched serially in user
+    /// order, remapping local ids onto the global sequence. The stitched
+    /// corpus is byte-identical to fully serial generation for any thread
+    /// count.
     pub fn generate(&self) -> RawCorpus {
         let _span = rsd_obs::Span::enter("corpus.generate");
         let started = rsd_obs::enabled().then(std::time::Instant::now);
@@ -178,74 +184,27 @@ impl CorpusGenerator {
         let mut users = Vec::with_capacity(cfg.n_users);
         let mut posts: Vec<RawPost> = Vec::new();
 
-        for uidx in 0..cfg.n_users {
-            let mut rng = stream_rng(cfg.seed, &format!("corpus.user.{uidx}"));
-            let user_id = UserId(uidx as u32);
-            let n_posts = truncated_log_normal(
-                &mut rng,
-                cfg.posts_mu,
-                cfg.posts_sigma,
-                1.0,
-                cfg.max_posts_per_user as f64,
-            )
-            .round()
-            .max(1.0) as usize;
-
-            let mut traj = Trajectory::new(&mut rng);
-            let t0 = self.sample_start_time(&mut rng, n_posts, &traj);
-
-            // Pass 1: levels and a strictly increasing timeline with
-            // circadian time-of-day structure.
-            let mut levels = Vec::with_capacity(n_posts);
-            let mut times = Vec::with_capacity(n_posts);
-            let mut t = t0;
-            for pidx in 0..n_posts {
-                let level = if pidx == 0 {
-                    traj.current
-                } else {
-                    traj.step(&mut rng)
-                };
-                let created = self.apply_circadian(&mut rng, t, traj.night_prob()).0;
-                let created = match times.last() {
-                    Some(&prev) if created <= prev => prev + rng.gen_range(60..3_600),
-                    _ => created,
-                };
-                levels.push(level);
-                times.push(created);
-                let gap_secs = exponential(&mut rng, traj.mean_gap_days() * Timestamp::DAY as f64);
-                t = Timestamp(created + gap_secs.max(60.0) as i64);
+        let mut drafts: Vec<Option<Vec<RawPost>>> = (0..cfg.n_users).map(|_| None).collect();
+        rsd_par::parallel_chunks_mut(&mut drafts, 32, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                *slot = Some(self.generate_user(start + off));
             }
+        });
 
-            // Pass 2: if the timeline overflowed the collection window,
-            // rescale offsets linearly (order-preserving) to fit.
-            let last = *times.last().expect("n_posts >= 1");
-            let window_last = cfg.window_end.0 - 1;
-            if last > window_last && last > t0.0 {
-                let scale = (window_last - t0.0) as f64 / (last - t0.0) as f64;
-                for time in &mut times {
-                    *time = t0.0 + ((*time - t0.0) as f64 * scale) as i64;
+        for (uidx, draft) in drafts.into_iter().enumerate() {
+            let local = draft.expect("user drafted");
+            let offset = posts.len() as u32;
+            let mut post_ids = Vec::with_capacity(local.len());
+            for mut post in local {
+                post.id = PostId(offset + post.id.0);
+                if let Some(orig) = post.duplicate_of {
+                    post.duplicate_of = Some(PostId(offset + orig.0));
                 }
-            }
-
-            // Pass 3: render the posts.
-            let mut post_ids = Vec::with_capacity(n_posts);
-            for (level, time) in levels.into_iter().zip(times) {
-                let id = PostId(posts.len() as u32);
-                let post = self.render_one(
-                    &mut rng,
-                    id,
-                    user_id,
-                    Timestamp(time),
-                    level,
-                    &posts,
-                    &post_ids,
-                );
-                post_ids.push(id);
+                post_ids.push(post.id);
                 posts.push(post);
             }
-
             users.push(RawUser {
-                id: user_id,
+                id: UserId(uidx as u32),
                 post_ids,
             });
         }
@@ -258,6 +217,80 @@ impl CorpusGenerator {
             rsd_obs::gauge("corpus.posts_per_sec", posts.len() as f64 / secs);
         }
         RawCorpus { users, posts }
+    }
+
+    /// Draft one user's posts with ids local to the user (`PostId(0..n)`).
+    /// The RNG substream and draw order are exactly those of the original
+    /// serial loop; only the id space differs, and reposts can only
+    /// reference the user's own earlier posts, so local ids suffice.
+    fn generate_user(&self, uidx: usize) -> Vec<RawPost> {
+        let cfg = &self.cfg;
+        let mut rng = stream_rng(cfg.seed, &format!("corpus.user.{uidx}"));
+        let user_id = UserId(uidx as u32);
+        let n_posts = truncated_log_normal(
+            &mut rng,
+            cfg.posts_mu,
+            cfg.posts_sigma,
+            1.0,
+            cfg.max_posts_per_user as f64,
+        )
+        .round()
+        .max(1.0) as usize;
+
+        let mut traj = Trajectory::new(&mut rng);
+        let t0 = self.sample_start_time(&mut rng, n_posts, &traj);
+
+        // Pass 1: levels and a strictly increasing timeline with
+        // circadian time-of-day structure.
+        let mut levels = Vec::with_capacity(n_posts);
+        let mut times = Vec::with_capacity(n_posts);
+        let mut t = t0;
+        for pidx in 0..n_posts {
+            let level = if pidx == 0 {
+                traj.current
+            } else {
+                traj.step(&mut rng)
+            };
+            let created = self.apply_circadian(&mut rng, t, traj.night_prob()).0;
+            let created = match times.last() {
+                Some(&prev) if created <= prev => prev + rng.gen_range(60..3_600),
+                _ => created,
+            };
+            levels.push(level);
+            times.push(created);
+            let gap_secs = exponential(&mut rng, traj.mean_gap_days() * Timestamp::DAY as f64);
+            t = Timestamp(created + gap_secs.max(60.0) as i64);
+        }
+
+        // Pass 2: if the timeline overflowed the collection window,
+        // rescale offsets linearly (order-preserving) to fit.
+        let last = *times.last().expect("n_posts >= 1");
+        let window_last = cfg.window_end.0 - 1;
+        if last > window_last && last > t0.0 {
+            let scale = (window_last - t0.0) as f64 / (last - t0.0) as f64;
+            for time in &mut times {
+                *time = t0.0 + ((*time - t0.0) as f64 * scale) as i64;
+            }
+        }
+
+        // Pass 3: render the posts (local id space).
+        let mut local_posts: Vec<RawPost> = Vec::with_capacity(n_posts);
+        let mut post_ids = Vec::with_capacity(n_posts);
+        for (level, time) in levels.into_iter().zip(times) {
+            let id = PostId(local_posts.len() as u32);
+            let post = self.render_one(
+                &mut rng,
+                id,
+                user_id,
+                Timestamp(time),
+                level,
+                &local_posts,
+                &post_ids,
+            );
+            post_ids.push(id);
+            local_posts.push(post);
+        }
+        local_posts
     }
 
     /// Pick the user's first-post time so that the expected span of their

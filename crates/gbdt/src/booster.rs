@@ -94,19 +94,23 @@ impl Booster {
         let _fit_span = rsd_obs::Span::enter("gbdt.fit");
         for _round in 0..cfg.n_rounds {
             let _round_span = rsd_obs::Span::enter("gbdt.fit.round");
-            // Softmax gradients.
+            // Softmax gradients, chunked over whole sample rows (each
+            // row's grad/hess cells are written by exactly one chunk).
             let mut grad = vec![0.0f32; n * k];
             let mut hess = vec![0.0f32; n * k];
-            for i in 0..n {
-                let row = &scores[i * k..(i + 1) * k];
-                let probs = softmax(row);
-                for c in 0..k {
-                    let p = probs[c];
-                    let y = if labels[i] == c { 1.0 } else { 0.0 };
-                    grad[i * k + c] = p - y;
-                    hess[i * k + c] = (p * (1.0 - p)).max(1e-6);
+            rsd_par::parallel_join_mut(&mut grad, &mut hess, 256 * k, |start, gc, hc| {
+                let i0 = start / k;
+                for (r, (grow, hrow)) in gc.chunks_mut(k).zip(hc.chunks_mut(k)).enumerate() {
+                    let i = i0 + r;
+                    let probs = softmax(&scores[i * k..(i + 1) * k]);
+                    for c in 0..k {
+                        let p = probs[c];
+                        let y = if labels[i] == c { 1.0 } else { 0.0 };
+                        grow[c] = p - y;
+                        hrow[c] = (p * (1.0 - p)).max(1e-6);
+                    }
                 }
-            }
+            });
 
             // Row / column subsample for this round.
             let n_rows = ((n as f64) * cfg.subsample).round().max(1.0) as usize;
@@ -123,12 +127,16 @@ impl Booster {
             };
             let _ = rng.gen::<u32>(); // decorrelate rounds even at full sample
 
-            let mut round_trees = Vec::with_capacity(k);
-            for c in 0..k {
+            // One tree per class; classes are independent given this
+            // round's gradients, so they fit in parallel. Score updates
+            // then apply per class in order (disjoint score columns).
+            let mut round_trees: Vec<Option<Tree>> = vec![None; k];
+            rsd_par::parallel_chunks_mut(&mut round_trees, 1, |start, slot| {
+                let c = start;
                 let _tree_span = rsd_obs::Span::enter("gbdt.fit.tree");
                 let g: Vec<f32> = (0..n).map(|i| grad[i * k + c]).collect();
                 let h: Vec<f32> = (0..n).map(|i| hess[i * k + c]).collect();
-                let tree = Tree::fit(
+                slot[0] = Some(Tree::fit(
                     train,
                     &g,
                     &h,
@@ -136,12 +144,21 @@ impl Booster {
                     &features,
                     &cfg.tree,
                     cfg.learning_rate,
-                );
-                for i in 0..n {
-                    scores[i * k + c] += tree.predict_row(&train.raw[i]);
+                ));
+            });
+            let round_trees: Vec<Tree> = round_trees
+                .into_iter()
+                .map(|t| t.expect("tree fit"))
+                .collect();
+            rsd_par::parallel_chunks_mut(&mut scores, 64 * k, |start, chunk| {
+                let i0 = start / k;
+                for (r, srow) in chunk.chunks_mut(k).enumerate() {
+                    let raw = &train.raw[i0 + r];
+                    for (c, tree) in round_trees.iter().enumerate() {
+                        srow[c] += tree.predict_row(raw);
+                    }
                 }
-                round_trees.push(tree);
-            }
+            });
             booster.trees.push(round_trees);
 
             // Early stopping on validation log-loss.
@@ -194,9 +211,16 @@ impl Booster {
             .expect("non-empty scores")
     }
 
-    /// Predictions for a matrix.
+    /// Predictions for a matrix (row-parallel; each output slot is
+    /// written by exactly one chunk).
     pub fn predict(&self, data: &BinnedMatrix) -> Vec<usize> {
-        data.raw.iter().map(|r| self.predict_row(r)).collect()
+        let mut out = vec![0usize; data.len()];
+        rsd_par::parallel_chunks_mut(&mut out, 64, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                *slot = self.predict_row(&data.raw[start + off]);
+            }
+        });
+        out
     }
 
     /// Mean multi-class log loss.
@@ -207,11 +231,23 @@ impl Booster {
         if data.is_empty() {
             return Err(RsdError::data("log_loss: empty data"));
         }
-        let mut total = 0.0f64;
-        for (row, &y) in data.raw.iter().zip(labels) {
-            let probs = self.predict_proba_row(row);
-            total -= f64::from(probs[y].max(1e-9)).ln();
-        }
+        // Chunked map + in-order fold: the association is fixed by chunk
+        // boundaries (row count only), so the loss is thread-count
+        // independent.
+        let total = rsd_par::parallel_reduce(
+            data.len(),
+            256,
+            |r| {
+                let mut part = 0.0f64;
+                for i in r {
+                    let probs = self.predict_proba_row(&data.raw[i]);
+                    part -= f64::from(probs[labels[i]].max(1e-9)).ln();
+                }
+                part
+            },
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0);
         Ok(total / data.len() as f64)
     }
 

@@ -100,8 +100,13 @@ impl Tree {
         node: usize,
         depth: usize,
     ) {
-        let g_total: f32 = rows.iter().map(|&i| grad[i]).sum();
-        let h_total: f32 = rows.iter().map(|&i| hess[i]).sum();
+        // Gather the node's gradients once: the per-feature histogram loop
+        // then streams two dense arrays instead of re-chasing `grad[i]`
+        // through the row index for every feature.
+        let g: Vec<f32> = rows.iter().map(|&i| grad[i]).collect();
+        let h: Vec<f32> = rows.iter().map(|&i| hess[i]).collect();
+        let g_total: f32 = g.iter().sum();
+        let h_total: f32 = h.iter().sum();
         let leaf_weight = -g_total / (h_total + cfg.lambda) * shrinkage;
 
         if depth >= cfg.max_depth || rows.len() < 2 {
@@ -111,36 +116,36 @@ impl Tree {
             return;
         }
 
-        // Find the best split across candidate features.
+        // Per-feature split search runs in parallel (each candidate slot
+        // is written by exactly one chunk); the winner is then reduced
+        // serially in `features` order with a strict `>`, which preserves
+        // the serial tie-break (first feature, first bin wins).
         let parent_score = g_total * g_total / (h_total + cfg.lambda);
+        let mut candidates: Vec<Option<(f32, u16)>> = vec![None; features.len()];
+        // Enough features per chunk to amortize dispatch on shallow nodes;
+        // a pure function of node size, never of thread count.
+        let feat_grain = (4096 / rows.len().max(1)).max(1);
+        rsd_par::parallel_chunks_mut(&mut candidates, feat_grain, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let f = features[start + off];
+                *slot = Tree::best_split_for_feature(
+                    data,
+                    f,
+                    rows,
+                    &g,
+                    &h,
+                    g_total,
+                    h_total,
+                    parent_score,
+                    cfg,
+                );
+            }
+        });
         let mut best: Option<(f32, usize, u16)> = None; // (gain, feature, bin)
-        for &f in features {
-            let n_bins = data.cuts.n_bins(f);
-            if n_bins < 2 {
-                continue;
-            }
-            let mut hist_g = vec![0.0f32; n_bins];
-            let mut hist_h = vec![0.0f32; n_bins];
-            for &i in rows {
-                let b = data.bins[i][f] as usize;
-                hist_g[b] += grad[i];
-                hist_h[b] += hess[i];
-            }
-            let mut gl = 0.0f32;
-            let mut hl = 0.0f32;
-            for b in 0..n_bins - 1 {
-                gl += hist_g[b];
-                hl += hist_h[b];
-                let gr = g_total - gl;
-                let hr = h_total - hl;
-                if hl < cfg.min_child_weight || hr < cfg.min_child_weight {
-                    continue;
-                }
-                let gain = 0.5
-                    * (gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) - parent_score)
-                    - cfg.gamma;
-                if gain > 0.0 && best.is_none_or(|(bg, _, _)| gain > bg) {
-                    best = Some((gain, f, b as u16));
+        for (pos, cand) in candidates.into_iter().enumerate() {
+            if let Some((gain, b)) = cand {
+                if best.is_none_or(|(bg, _, _)| gain > bg) {
+                    best = Some((gain, features[pos], b));
                 }
             }
         }
@@ -153,8 +158,10 @@ impl Tree {
         };
 
         let threshold = data.cuts.cuts[feature][bin as usize];
-        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
-            rows.iter().partition(|&&i| data.bins[i][feature] <= bin);
+        let feature_bins = data.feature_bins(feature);
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+            .iter()
+            .partition(|&&i| u16::from(feature_bins[i]) <= bin);
 
         let left = self.nodes.len();
         self.nodes.push(Node::Leaf { weight: 0.0 });
@@ -189,6 +196,74 @@ impl Tree {
             right,
             depth + 1,
         );
+    }
+
+    /// Best `(gain, bin)` split for one feature, or `None` when no bin
+    /// clears the gain/γ/min-child constraints. Histogram accumulation and
+    /// the bin scan run in `rows` order, exactly as the old serial loop.
+    #[allow(clippy::too_many_arguments)]
+    fn best_split_for_feature(
+        data: &BinnedMatrix,
+        f: usize,
+        rows: &[usize],
+        g: &[f32],
+        h: &[f32],
+        g_total: f32,
+        h_total: f32,
+        parent_score: f32,
+        cfg: &TreeConfig,
+    ) -> Option<(f32, u16)> {
+        let n_bins = data.cuts.n_bins(f);
+        if n_bins < 2 {
+            return None;
+        }
+        let feature_bins = data.feature_bins(f);
+        // Interleaved (g, h) pairs: one cache line per bin update instead
+        // of two. Addition order per bin is unchanged, so gains (and
+        // therefore the grown tree) are bit-identical to split arrays.
+        let mut hist = vec![[0.0f32; 2]; n_bins];
+        let len = rows.len().min(g.len()).min(h.len());
+        let (rows, g, h) = (&rows[..len], &g[..len], &h[..len]);
+        let top = n_bins - 1;
+        // `.min(top)` is a no-op (bins are < n_bins by construction) that
+        // lets the compiler drop the per-row bounds check on `hist`; the
+        // 4-way unroll overlaps the gather loads. Updates stay in row
+        // order, so per-bin sums are bit-identical to the naive loop.
+        let mut j = 0;
+        while j + 4 <= len {
+            for dj in 0..4 {
+                let b = (feature_bins[rows[j + dj]] as usize).min(top);
+                let cell = &mut hist[b];
+                cell[0] += g[j + dj];
+                cell[1] += h[j + dj];
+            }
+            j += 4;
+        }
+        while j < len {
+            let cell = &mut hist[(feature_bins[rows[j]] as usize).min(top)];
+            cell[0] += g[j];
+            cell[1] += h[j];
+            j += 1;
+        }
+        let mut best: Option<(f32, u16)> = None;
+        let mut gl = 0.0f32;
+        let mut hl = 0.0f32;
+        for (b, cell) in hist.iter().enumerate().take(n_bins - 1) {
+            gl += cell[0];
+            hl += cell[1];
+            let gr = g_total - gl;
+            let hr = h_total - hl;
+            if hl < cfg.min_child_weight || hr < cfg.min_child_weight {
+                continue;
+            }
+            let gain = 0.5
+                * (gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda) - parent_score)
+                - cfg.gamma;
+            if gain > 0.0 && best.is_none_or(|(bg, _)| gain > bg) {
+                best = Some((gain, b as u16));
+            }
+        }
+        best
     }
 
     /// Predict one raw feature row.

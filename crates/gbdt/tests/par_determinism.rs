@@ -1,0 +1,83 @@
+//! GBDT determinism across thread counts: tree growing, boosting, and
+//! prediction must be byte-identical whether they run serially, on a
+//! 1-thread pool, or on a 4-thread pool.
+
+use rsd_common::rng::stream_rng;
+use rsd_gbdt::tree::TreeConfig;
+use rsd_gbdt::{BinnedMatrix, Booster, BoosterConfig, Tree};
+
+use rand::Rng;
+
+fn toy(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+    let mut rng = stream_rng(seed, "gbdt.par.toy");
+    (0..n)
+        .map(|_| {
+            let x: f32 = rng.gen_range(-1.0..1.0);
+            let y: f32 = rng.gen_range(-1.0..1.0);
+            let noise: f32 = rng.gen_range(-1.0..1.0);
+            let label = if x > 0.2 {
+                0
+            } else if y > 0.0 {
+                1
+            } else {
+                2
+            };
+            (vec![x, y, noise], label)
+        })
+        .unzip()
+}
+
+#[test]
+fn tree_fit_identical_across_thread_counts() {
+    let (rows, labels) = toy(300, 1);
+    let data = BinnedMatrix::fit(rows, 64).unwrap();
+    let grad: Vec<f32> = labels
+        .iter()
+        .map(|&l| if l == 0 { -1.0 } else { 1.0 })
+        .collect();
+    let hess = vec![1.0f32; labels.len()];
+    let idx: Vec<usize> = (0..labels.len()).collect();
+    let feats = [0usize, 1, 2];
+    let fit = || {
+        Tree::fit(
+            &data,
+            &grad,
+            &hess,
+            &idx,
+            &feats,
+            &TreeConfig::default(),
+            0.3,
+        )
+    };
+    let serial = rsd_par::run_serial(fit);
+    let one = rsd_par::with_local_pool(1, fit);
+    let four = rsd_par::with_local_pool(4, fit);
+    let json = |t: &Tree| serde_json::to_string(t).unwrap();
+    assert_eq!(json(&serial), json(&one));
+    assert_eq!(json(&serial), json(&four));
+}
+
+#[test]
+fn booster_fit_identical_across_thread_counts() {
+    let (rows, labels) = toy(250, 2);
+    let (vrows, vlabels) = toy(80, 3);
+    let train = BinnedMatrix::fit(rows, 64).unwrap();
+    let valid = train.transform(vrows).unwrap();
+    let cfg = BoosterConfig {
+        n_classes: 3,
+        n_rounds: 12,
+        early_stopping: 3,
+        seed: 7,
+        ..Default::default()
+    };
+    let fit = || {
+        let b = Booster::fit(&train, &labels, Some((&valid, &vlabels)), cfg.clone()).unwrap();
+        let loss = b.log_loss(&valid, &vlabels).unwrap();
+        (b.n_rounds(), b.predict(&valid), loss.to_bits())
+    };
+    let serial = rsd_par::run_serial(fit);
+    let one = rsd_par::with_local_pool(1, fit);
+    let four = rsd_par::with_local_pool(4, fit);
+    assert_eq!(serial, one);
+    assert_eq!(serial, four);
+}

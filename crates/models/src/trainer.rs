@@ -103,8 +103,10 @@ pub fn augment_train_windows(
 }
 
 /// A forward-pass builder: constructs the per-example graph and returns
-/// 1×C logits.
-pub type ForwardFn<'m> = dyn Fn(&mut Tape, &ParamStore, &EncodedWindow, &mut StdRng) -> Var + 'm;
+/// 1×C logits. `Sync` because batches fan out across the `rsd-par` pool;
+/// each invocation gets its own tape and its own derived RNG.
+pub type ForwardFn<'m> =
+    dyn Fn(&mut Tape, &ParamStore, &EncodedWindow, &mut StdRng) -> Var + Sync + 'm;
 
 /// Train a classifier with early stopping; the store is left holding the
 /// best-validation weights. Returns per-epoch validation macro-F1.
@@ -149,29 +151,37 @@ pub fn train_classifier(
             idx
         };
 
-        let mut in_batch = 0usize;
+        // Per-batch parallel forward/backward: each example runs on its
+        // own tape with an RNG derived from (epoch seed, position), so
+        // results don't depend on thread count. Gradients are then
+        // harvested serially in batch order before the optimizer step.
         let mut loss_sum = 0.0f64;
         let telemetry = rsd_obs::enabled();
-        for &i in &order {
-            let example = &train[i];
-            let mut tape = Tape::new();
-            let logits = forward(&mut tape, store, example, &mut rng);
-            let loss = tape.cross_entropy(logits, &[example.label]);
-            if telemetry {
-                loss_sum += f64::from(tape.value(loss).data[0]);
+        let epoch_seed = rng.gen::<u64>();
+        let mut done = 0usize;
+        for batch in order.chunks(cfg.batch.max(1)) {
+            let mut results: Vec<Option<(Tape, f32)>> = (0..batch.len()).map(|_| None).collect();
+            let store_ref: &ParamStore = store;
+            let base = done;
+            rsd_par::parallel_chunks_mut(&mut results, 1, |start, slot| {
+                let example = &train[batch[start]];
+                let mut ex_rng = stream_rng(epoch_seed, &format!("trainer.ex.{}", base + start));
+                let mut tape = Tape::new();
+                let logits = forward(&mut tape, store_ref, example, &mut ex_rng);
+                let loss = tape.cross_entropy(logits, &[example.label]);
+                let loss_value = tape.value(loss).data[0];
+                tape.backward(loss);
+                slot[0] = Some((tape, loss_value));
+            });
+            done += batch.len();
+            for r in results {
+                let (tape, loss_value) = r.expect("forward ran");
+                if telemetry {
+                    loss_sum += f64::from(loss_value);
+                }
+                tape.harvest_grads(store);
             }
-            tape.backward(loss);
-            tape.harvest_grads(store);
-            in_batch += 1;
-            if in_batch >= cfg.batch {
-                store.scale_grads(1.0 / in_batch as f32);
-                store.clip_grad_norm(cfg.clip);
-                opt.step(store);
-                in_batch = 0;
-            }
-        }
-        if in_batch > 0 {
-            store.scale_grads(1.0 / in_batch as f32);
+            store.scale_grads(1.0 / batch.len() as f32);
             store.clip_grad_norm(cfg.clip);
             opt.step(store);
         }
@@ -215,11 +225,22 @@ pub fn evaluate(
     examples: &[EncodedWindow],
     rng: &mut StdRng,
 ) -> Result<ConfusionMatrix> {
+    // Row-parallel inference with per-example derived RNGs (inference
+    // forwards rarely draw from them, but dropout-style ops may); the
+    // confusion matrix is filled serially in example order.
+    let eval_seed = rng.gen::<u64>();
+    let mut preds = vec![0usize; examples.len()];
+    rsd_par::parallel_chunks_mut(&mut preds, 16, |start, chunk| {
+        for (off, pred) in chunk.iter_mut().enumerate() {
+            let j = start + off;
+            let mut ex_rng = stream_rng(eval_seed, &format!("trainer.eval.{j}"));
+            let mut tape = Tape::inference();
+            let logits = forward(&mut tape, store, &examples[j], &mut ex_rng);
+            *pred = argmax_rows(tape.value(logits))[0];
+        }
+    });
     let mut confusion = ConfusionMatrix::new(RiskLevel::COUNT);
-    for example in examples {
-        let mut tape = Tape::inference();
-        let logits = forward(&mut tape, store, example, rng);
-        let pred = argmax_rows(tape.value(logits))[0];
+    for (example, &pred) in examples.iter().zip(&preds) {
         confusion.record(example.label, pred)?;
     }
     Ok(confusion)

@@ -9,21 +9,29 @@ pub fn cross_entropy(tape: &mut Tape, logits: Var, targets: &[usize]) -> Var {
     tape.cross_entropy(logits, targets)
 }
 
-/// Inference-side softmax probabilities for a logits matrix.
+/// Inference-side softmax probabilities for a logits matrix. Rows are
+/// normalized independently, in parallel chunks of whole rows; per-row
+/// accumulation order is fixed, so output is thread-count independent.
 pub fn softmax_probs(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
-    for r in 0..out.rows {
-        let row = out.row_mut(r);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= sum;
-        }
+    let cols = out.cols;
+    if cols == 0 {
+        return out;
     }
+    // ~64 rows per chunk, in whole-row units.
+    rsd_par::parallel_chunks_mut(&mut out.data, 64 * cols, |_, chunk| {
+        for row in chunk.chunks_mut(cols) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    });
     out
 }
 

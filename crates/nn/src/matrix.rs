@@ -1,10 +1,43 @@
 //! Dense row-major f32 matrices with the kernels training needs.
 //!
 //! Not a general linear-algebra library: exactly the operations the tape
-//! ops are built from, written so the inner loops vectorize (ikj matmul
-//! order, slice-based accumulation).
+//! ops are built from. The hot kernels (`matmul` family, `transpose`,
+//! `axpy`, `map`) are cache-blocked and parallelized over output-row
+//! chunks through `rsd-par`; every output element is written by exactly
+//! one chunk and chunk boundaries depend only on the shape, so results
+//! are bit-identical to serial execution for any `RSD_THREADS`. The
+//! matmul dense path accumulates with fused multiply-adds (one rounding
+//! per step, via `f32::mul_add` or the AVX2 `vfmaddps` kernel — both
+//! produce the same bits), so it is differently rounded than the
+//! pre-optimization kernels but deterministic everywhere.
+//!
+//! The pre-optimization scalar kernels live in [`reference`] so benches
+//! and property tests can compare against the original implementations.
 
 use serde::{Deserialize, Serialize};
+
+/// Inner-loop operations per parallel chunk the kernels aim for; rows are
+/// grouped so each chunk amortizes scheduling overhead. A pure function
+/// of shape — never of thread count — to keep chunking deterministic.
+const CHUNK_WORK: usize = 1 << 15;
+
+/// Elementwise kernels (axpy/map) chunk at this many elements.
+const ELEM_GRAIN: usize = 1 << 12;
+
+/// Kernels whose total work is below this skip span creation entirely
+/// (tiny matmuls inside per-token RNN steps would otherwise drown the
+/// telemetry stream).
+const SPAN_MIN_WORK: usize = 1 << 20;
+
+fn kernel_span(label: &'static str, work: usize) -> Option<rsd_obs::Span> {
+    (work >= SPAN_MIN_WORK).then(|| rsd_obs::Span::enter(label))
+}
+
+/// Rows per parallel chunk for a kernel doing `row_work` operations per
+/// output row.
+fn row_grain(row_work: usize) -> usize {
+    (CHUNK_WORK / row_work.max(1)).max(1)
+}
 
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -78,83 +111,119 @@ impl Matrix {
     }
 
     /// `self @ other` (NN layout). Panics on shape mismatch.
+    ///
+    /// Row-parallel: each chunk owns a block of whole output rows.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let n = other.cols;
+        let k_dim = self.cols;
+        let _span = kernel_span("nn.matmul", 2 * self.rows * k_dim * n);
+        let mut out = Matrix::zeros(self.rows, n);
+        let grain = row_grain(2 * k_dim * n) * n.max(1);
+        let a = &self.data;
+        let b = &other.data;
+        rsd_par::parallel_chunks_mut(&mut out.data, grain, |start, chunk| {
+            let i0 = start / n;
+            let mut rows = chunk.chunks_mut(n).enumerate();
+            // Pair up output rows so the FMA kernel can amortize each B
+            // load over two accumulator rows (register blocking). Falls
+            // back to single-row kernels when a row is zero-heavy or the
+            // pair kernel is unavailable.
+            while let Some((ri, out_row)) = rows.next() {
+                let i = i0 + ri;
+                let a_row = &a[i * k_dim..(i + 1) * k_dim];
+                #[cfg(target_arch = "x86_64")]
+                if fma_available() && row_is_dense(a_row) {
+                    if let Some((_, out_row2)) = rows.next() {
+                        let a_row2 = &a[(i + 1) * k_dim..(i + 2) * k_dim];
+                        if row_is_dense(a_row2) {
+                            // SAFETY: guarded by the runtime AVX2+FMA check.
+                            unsafe {
+                                matmul_2rows_dense_fma(a_row, a_row2, b, n, out_row, out_row2)
+                            }
+                        } else {
+                            matmul_row(a_row, b, n, out_row);
+                            matmul_row(a_row2, b, n, out_row2);
+                        }
+                        continue;
+                    }
                 }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                matmul_row(a_row, b, n, out_row);
             }
-        }
+        });
         out
     }
 
     /// `self @ otherᵀ` (NT layout).
+    ///
+    /// Row-parallel over `self`'s rows; both operands stream row-major, so
+    /// each output element is one contiguous-slice dot product.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt shape mismatch: {}x{} @ ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut sum = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    sum += a * b;
+        let n = other.rows;
+        let _span = kernel_span("nn.matmul_nt", 2 * self.rows * self.cols * n);
+        let mut out = Matrix::zeros(self.rows, n);
+        let grain = row_grain(2 * self.cols * n) * n.max(1);
+        rsd_par::parallel_chunks_mut(&mut out.data, grain, |start, chunk| {
+            let i0 = start / n;
+            for (ri, out_row) in chunk.chunks_mut(n).enumerate() {
+                let a_row = self.row(i0 + ri);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = dot4(a_row, other.row(j));
                 }
-                out.data[i * other.rows + j] = sum;
             }
-        }
+        });
         out
     }
 
     /// `selfᵀ @ other` (TN layout).
+    ///
+    /// Transposes `self` once (tiled, parallel) and reuses the row-parallel
+    /// `matmul` core, inheriting its k-ascending fused accumulation order.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn shape mismatch: ({}x{})ᵀ @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        let _span = kernel_span("nn.matmul_tn", 2 * self.rows * self.cols * other.cols);
+        self.transpose().matmul(other)
     }
 
-    /// Transposed copy.
+    /// Transposed copy (tiled to keep both access patterns cache-friendly,
+    /// parallel over blocks of output rows).
     pub fn transpose(&self) -> Matrix {
+        let _span = kernel_span("nn.transpose", self.rows * self.cols);
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
+        if self.rows == 0 || self.cols == 0 {
+            return out;
         }
+        const TILE: usize = 32;
+        let r = self.rows;
+        let cols = self.cols;
+        let src = &self.data;
+        rsd_par::parallel_chunks_mut(&mut out.data, TILE * r, |start, chunk| {
+            let c0 = start / r;
+            let n_out_rows = chunk.len() / r;
+            for rb in (0..r).step_by(TILE) {
+                let rend = (rb + TILE).min(r);
+                for oc in 0..n_out_rows {
+                    let src_col = c0 + oc;
+                    let dst = &mut chunk[oc * r..(oc + 1) * r];
+                    for rr in rb..rend {
+                        dst[rr] = src[rr * cols + src_col];
+                    }
+                }
+            }
+        });
         out
     }
 
@@ -165,17 +234,29 @@ impl Matrix {
             (other.rows, other.cols),
             "axpy shape mismatch"
         );
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        let b = &other.data;
+        rsd_par::parallel_chunks_mut(&mut self.data, ELEM_GRAIN, |start, chunk| {
+            let src = &b[start..start + chunk.len()];
+            for (a, &bv) in chunk.iter_mut().zip(src) {
+                *a += alpha * bv;
+            }
+        });
     }
 
     /// Elementwise map into a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut data = vec![0.0f32; self.data.len()];
+        let src = &self.data;
+        rsd_par::parallel_chunks_mut(&mut data, ELEM_GRAIN, |start, chunk| {
+            let from = &src[start..start + chunk.len()];
+            for (v, &x) in chunk.iter_mut().zip(from) {
+                *v = f(x);
+            }
+        });
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
     }
 
@@ -184,14 +265,318 @@ impl Matrix {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm. Chunked sum-of-squares folded in fixed chunk order,
+    /// so the value is independent of thread count.
     pub fn frobenius(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+        let data = &self.data;
+        rsd_par::parallel_reduce(
+            data.len(),
+            ELEM_GRAIN,
+            |r| data[r].iter().map(|x| x * x).sum::<f32>(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0)
+        .sqrt()
     }
 
     /// True when shapes match.
     pub fn same_shape(&self, other: &Matrix) -> bool {
         self.rows == other.rows && self.cols == other.cols
+    }
+}
+
+/// One output row of `matmul`: `out_row += a_row @ b` (`b` row-major with
+/// `n` columns). Mostly-zero rows (one-hot embeddings, dropout masks)
+/// keep the sparsity skip, but gated behind a cheap O(K) density scan so
+/// dense inputs get a branch-free unrolled loop. Both paths accumulate in
+/// ascending-k order, so they agree bit-for-bit on finite inputs.
+fn matmul_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    if !row_is_dense(a_row) {
+        for (k, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (o, &bv) in out_row.iter_mut().zip(&b[k * n..(k + 1) * n]) {
+                *o = a.mul_add(bv, *o);
+            }
+        }
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if fma_available() {
+        // SAFETY: guarded by the runtime AVX2+FMA check.
+        unsafe { matmul_row_dense_fma(a_row, b, n, out_row) }
+        return;
+    }
+    matmul_row_dense(a_row, b, n, out_row);
+}
+
+/// Mostly-nonzero rows take the dense kernels; zero-heavy rows (one-hot
+/// embeddings, dropout masks) keep the k-skip path.
+#[inline]
+fn row_is_dense(a_row: &[f32]) -> bool {
+    let zeros = a_row.iter().filter(|&&a| a == 0.0).count();
+    zeros * 2 <= a_row.len()
+}
+
+/// Portable dense matmul row. Each output element is one fused
+/// multiply-add chain in ascending-k order — `mul_add` rounds once per
+/// step, so this produces bit-identical results to the AVX2 kernel (and
+/// to NEON FMA codegen on aarch64) on every host.
+fn matmul_row_dense(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    for (k, &a) in a_row.iter().enumerate() {
+        for (o, &bv) in out_row.iter_mut().zip(&b[k * n..(k + 1) * n]) {
+            *o = a.mul_add(bv, *o);
+        }
+    }
+}
+
+/// AVX2+FMA dense row kernel: broadcasts eight consecutive `a`
+/// coefficients and fuses their contributions into 8-wide output lanes
+/// with `vfmaddps`, ascending-k. Every output element still sees exactly
+/// one fused multiply-add per k in the same order as
+/// [`matmul_row_dense`], so the two paths agree bit-for-bit; the wide
+/// registers and the 8-deep k-unroll (which amortizes the output
+/// load/store over eight FMAs) are pure throughput.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn matmul_row_dense_fma(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    use std::arch::x86_64::{_mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_storeu_ps};
+    let k_dim = a_row.len();
+    let bp = b.as_ptr();
+    let op = out_row.as_mut_ptr();
+    let mut k = 0;
+    while k + 8 <= k_dim {
+        let a = &a_row[k..k + 8];
+        let av = [
+            _mm256_set1_ps(a[0]),
+            _mm256_set1_ps(a[1]),
+            _mm256_set1_ps(a[2]),
+            _mm256_set1_ps(a[3]),
+            _mm256_set1_ps(a[4]),
+            _mm256_set1_ps(a[5]),
+            _mm256_set1_ps(a[6]),
+            _mm256_set1_ps(a[7]),
+        ];
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut acc = _mm256_loadu_ps(op.add(j));
+            for (dk, &avk) in av.iter().enumerate() {
+                acc = _mm256_fmadd_ps(avk, _mm256_loadu_ps(bp.add((k + dk) * n + j)), acc);
+            }
+            _mm256_storeu_ps(op.add(j), acc);
+            j += 8;
+        }
+        while j < n {
+            let mut o = *op.add(j);
+            for (dk, &ak) in a.iter().enumerate() {
+                o = ak.mul_add(*bp.add((k + dk) * n + j), o);
+            }
+            *op.add(j) = o;
+            j += 1;
+        }
+        k += 8;
+    }
+    while k < k_dim {
+        let a = a_row[k];
+        let bk = &b[k * n..(k + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(bk) {
+            *o = a.mul_add(bv, *o);
+        }
+        k += 1;
+    }
+}
+
+/// Two-row register-blocked variant of [`matmul_row_dense_fma`]: each
+/// broadcast B lane feeds FMAs into two independent accumulator rows, so
+/// B traffic per FLOP halves. Each output element's fused chain is still
+/// ascending-k, identical to the single-row kernels bit-for-bit.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn matmul_2rows_dense_fma(
+    a0_row: &[f32],
+    a1_row: &[f32],
+    b: &[f32],
+    n: usize,
+    out0: &mut [f32],
+    out1: &mut [f32],
+) {
+    use std::arch::x86_64::{_mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_storeu_ps};
+    let k_dim = a0_row.len();
+    let bp = b.as_ptr();
+    let o0p = out0.as_mut_ptr();
+    let o1p = out1.as_mut_ptr();
+    let mut k = 0;
+    while k + 6 <= k_dim {
+        let a0 = &a0_row[k..k + 6];
+        let a1 = &a1_row[k..k + 6];
+        let a0v = [
+            _mm256_set1_ps(a0[0]),
+            _mm256_set1_ps(a0[1]),
+            _mm256_set1_ps(a0[2]),
+            _mm256_set1_ps(a0[3]),
+            _mm256_set1_ps(a0[4]),
+            _mm256_set1_ps(a0[5]),
+        ];
+        let a1v = [
+            _mm256_set1_ps(a1[0]),
+            _mm256_set1_ps(a1[1]),
+            _mm256_set1_ps(a1[2]),
+            _mm256_set1_ps(a1[3]),
+            _mm256_set1_ps(a1[4]),
+            _mm256_set1_ps(a1[5]),
+        ];
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut acc0 = _mm256_loadu_ps(o0p.add(j));
+            let mut acc1 = _mm256_loadu_ps(o1p.add(j));
+            for dk in 0..6 {
+                let bv = _mm256_loadu_ps(bp.add((k + dk) * n + j));
+                acc0 = _mm256_fmadd_ps(a0v[dk], bv, acc0);
+                acc1 = _mm256_fmadd_ps(a1v[dk], bv, acc1);
+            }
+            _mm256_storeu_ps(o0p.add(j), acc0);
+            _mm256_storeu_ps(o1p.add(j), acc1);
+            j += 8;
+        }
+        while j < n {
+            let mut o0 = *o0p.add(j);
+            let mut o1 = *o1p.add(j);
+            for dk in 0..6 {
+                let bv = *bp.add((k + dk) * n + j);
+                o0 = a0[dk].mul_add(bv, o0);
+                o1 = a1[dk].mul_add(bv, o1);
+            }
+            *o0p.add(j) = o0;
+            *o1p.add(j) = o1;
+            j += 1;
+        }
+        k += 6;
+    }
+    while k < k_dim {
+        let (c0, c1) = (a0_row[k], a1_row[k]);
+        let bk = &b[k * n..(k + 1) * n];
+        for j in 0..n {
+            out0[j] = c0.mul_add(bk[j], out0[j]);
+            out1[j] = c1.mul_add(bk[j], out1[j]);
+        }
+        k += 1;
+    }
+}
+
+/// Cached `is_x86_feature_detected!("avx2") && ("fma")`: 0 unknown,
+/// 1 no, 2 yes.
+#[cfg(target_arch = "x86_64")]
+fn fma_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static FMA: AtomicU8 = AtomicU8::new(0);
+    match FMA.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let yes = std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma");
+            FMA.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+    }
+}
+
+/// 4-accumulator dot product. Accumulator layout is fixed, so the result
+/// is deterministic (though differently rounded than a single-accumulator
+/// sum).
+fn dot4(x: &[f32], y: &[f32]) -> f32 {
+    let len = x.len().min(y.len());
+    let (x, y) = (&x[..len], &y[..len]);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let mut k = 0;
+    while k + 4 <= len {
+        s0 += x[k] * y[k];
+        s1 += x[k + 1] * y[k + 1];
+        s2 += x[k + 2] * y[k + 2];
+        s3 += x[k + 3] * y[k + 3];
+        k += 4;
+    }
+    let mut tail = 0.0f32;
+    while k < len {
+        tail += x[k] * y[k];
+        k += 1;
+    }
+    ((s0 + s1) + (s2 + s3)) + tail
+}
+
+/// The pre-optimization scalar kernels, kept verbatim as the baseline for
+/// `par_bench` and the determinism property tests. Not used by training.
+pub mod reference {
+    use super::Matrix;
+
+    /// Scalar ikj matmul with the per-element zero skip.
+    pub fn matmul(a: &Matrix, other: &Matrix) -> Matrix {
+        assert_eq!(a.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(a.rows, other.cols);
+        for i in 0..a.rows {
+            let a_row = a.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += av * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Scalar NT matmul (single-accumulator dots).
+    pub fn matmul_nt(a: &Matrix, other: &Matrix) -> Matrix {
+        assert_eq!(a.cols, other.cols, "matmul_nt shape mismatch");
+        let mut out = Matrix::zeros(a.rows, other.rows);
+        for i in 0..a.rows {
+            let a_row = a.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut sum = 0.0;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    sum += x * y;
+                }
+                out.data[i * other.rows + j] = sum;
+            }
+        }
+        out
+    }
+
+    /// Scalar TN matmul (k-outer accumulation).
+    pub fn matmul_tn(a: &Matrix, other: &Matrix) -> Matrix {
+        assert_eq!(a.rows, other.rows, "matmul_tn shape mismatch");
+        let mut out = Matrix::zeros(a.cols, other.cols);
+        for k in 0..a.rows {
+            let a_row = a.row(k);
+            let b_row = other.row(k);
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += av * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Scalar transpose.
+    pub fn transpose(a: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.cols, a.rows);
+        for r in 0..a.rows {
+            for c in 0..a.cols {
+                out.data[c * a.rows + r] = a.data[r * a.cols + c];
+            }
+        }
+        out
     }
 }
 
@@ -275,5 +660,92 @@ mod tests {
         let json = serde_json::to_string(&m).unwrap();
         let back: Matrix = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);
+    }
+
+    /// Deterministic pseudo-random matrix (no RNG dependency needed).
+    fn pseudo(rows: usize, cols: usize, salt: u64, sparse: bool) -> Matrix {
+        let data = (0..rows * cols)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(salt)
+                    .rotate_left(17);
+                if sparse && !h.is_multiple_of(3) {
+                    0.0
+                } else {
+                    ((h % 2000) as f32 - 1000.0) * 1e-3
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn kernels_match_reference_on_irregular_shapes() {
+        // Odd shapes exercise the unroll tail, the chunk remainder, and
+        // both density paths. Matmuls accumulate with fused multiply-adds
+        // (rounded once per step), so they are close to — not bitwise
+        // equal to — the reference kernels' separate mul-then-add.
+        let close = |got: &Matrix, want: &Matrix, what: &str| {
+            for (x, y) in got.data.iter().zip(&want.data) {
+                assert!(
+                    (x - y).abs() <= 1e-4 * (1.0 + y.abs()),
+                    "{what}: {x} vs {y}"
+                );
+            }
+        };
+        for (m, k, n, sparse) in [(5, 7, 3, false), (33, 65, 17, false), (9, 40, 11, true)] {
+            let x = pseudo(m, k, 1, sparse);
+            let y = pseudo(k, n, 2, false);
+            close(
+                &x.matmul(&y),
+                &reference::matmul(&x, &y),
+                &format!("matmul {m}x{k}@{k}x{n} sparse={sparse}"),
+            );
+            let xt = pseudo(k, m, 3, sparse);
+            close(
+                &xt.matmul_tn(&y),
+                &reference::matmul_tn(&xt, &y),
+                &format!("matmul_tn {k}x{m}@{k}x{n} sparse={sparse}"),
+            );
+            assert_eq!(x.transpose().data, reference::transpose(&x).data);
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_bitwise_equal_serial() {
+        let x = pseudo(70, 64, 4, false);
+        let y = pseudo(64, 48, 5, false);
+        let yt = pseudo(48, 64, 6, false);
+        let (p1, p2, p3, p4) = rsd_par::with_local_pool(4, || {
+            (
+                x.matmul(&y),
+                x.matmul_nt(&yt),
+                x.matmul_tn(&pseudo(70, 32, 7, false)),
+                x.transpose(),
+            )
+        });
+        let (s1, s2, s3, s4) = rsd_par::run_serial(|| {
+            (
+                x.matmul(&y),
+                x.matmul_nt(&yt),
+                x.matmul_tn(&pseudo(70, 32, 7, false)),
+                x.transpose(),
+            )
+        });
+        assert_eq!(p1, s1);
+        assert_eq!(p2, s2);
+        assert_eq!(p3, s3);
+        assert_eq!(p4, s4);
+    }
+
+    #[test]
+    fn degenerate_shapes_are_fine() {
+        let e = Matrix::zeros(0, 5);
+        let f = Matrix::zeros(5, 0);
+        assert_eq!(e.matmul(&f).data.len(), 0);
+        assert_eq!(f.matmul(&e).data.len(), 25);
+        assert_eq!(e.transpose().rows, 5);
+        assert_eq!(Matrix::zeros(0, 0).frobenius(), 0.0);
     }
 }

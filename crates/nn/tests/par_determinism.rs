@@ -1,0 +1,94 @@
+//! Property tests for the parallel kernel determinism contract: for any
+//! shape, the blocked parallel kernels must be byte-identical to forced
+//! serial execution and to a 4-thread local pool, and close to the
+//! pre-optimization reference kernels (the fused-multiply-add matmuls
+//! and the multi-accumulator NT dot round differently; `transpose` is
+//! order-preserving and stays bitwise equal).
+
+use proptest::prelude::*;
+use rsd_nn::matrix::{reference, Matrix};
+
+fn close_to(got: &Matrix, want: &Matrix) -> bool {
+    got.data
+        .iter()
+        .zip(&want.data)
+        .all(|(x, y)| (x - y).abs() <= 1e-3 * (1.0 + y.abs()))
+}
+
+fn matrix_from(rows: usize, cols: usize, vals: &[f32], sparse: bool) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| {
+            let v = vals[i % vals.len()];
+            if sparse && i % 3 != 0 {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.data.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    fn matmul_parallel_equals_serial_and_reference(
+        m in 1usize..40,
+        k in 1usize..48,
+        n in 1usize..40,
+        vals in collection::vec(-2.0f32..2.0, 8..32),
+        sparse in 0u32..2,
+    ) {
+        let a = matrix_from(m, k, &vals, sparse == 1);
+        let b = matrix_from(k, n, &vals, false);
+        let par = rsd_par::with_local_pool(4, || a.matmul(&b));
+        let ser = rsd_par::run_serial(|| a.matmul(&b));
+        prop_assert_eq!(bits(&par), bits(&ser));
+        prop_assert!(close_to(&par, &reference::matmul(&a, &b)));
+    }
+
+    fn matmul_tn_parallel_equals_serial_and_reference(
+        m in 1usize..40,
+        k in 1usize..48,
+        n in 1usize..40,
+        vals in collection::vec(-2.0f32..2.0, 8..32),
+    ) {
+        let a = matrix_from(k, m, &vals, false);
+        let b = matrix_from(k, n, &vals, false);
+        let par = rsd_par::with_local_pool(4, || a.matmul_tn(&b));
+        let ser = rsd_par::run_serial(|| a.matmul_tn(&b));
+        prop_assert_eq!(bits(&par), bits(&ser));
+        prop_assert!(close_to(&par, &reference::matmul_tn(&a, &b)));
+    }
+
+    fn matmul_nt_parallel_equals_serial(
+        m in 1usize..40,
+        k in 1usize..48,
+        n in 1usize..40,
+        vals in collection::vec(-2.0f32..2.0, 8..32),
+    ) {
+        let a = matrix_from(m, k, &vals, false);
+        let b = matrix_from(n, k, &vals, false);
+        let par = rsd_par::with_local_pool(4, || a.matmul_nt(&b));
+        let ser = rsd_par::run_serial(|| a.matmul_nt(&b));
+        prop_assert_eq!(bits(&par), bits(&ser));
+        prop_assert!(close_to(&par, &reference::matmul_nt(&a, &b)));
+    }
+
+    fn transpose_and_map_parallel_equal_serial(
+        m in 1usize..64,
+        n in 1usize..64,
+        vals in collection::vec(-2.0f32..2.0, 8..32),
+    ) {
+        let a = matrix_from(m, n, &vals, false);
+        let par = rsd_par::with_local_pool(4, || (a.transpose(), a.map(|x| x.tanh())));
+        let ser = rsd_par::run_serial(|| (a.transpose(), a.map(|x| x.tanh())));
+        prop_assert_eq!(bits(&par.0), bits(&ser.0));
+        prop_assert_eq!(bits(&par.0), bits(&reference::transpose(&a)));
+        prop_assert_eq!(bits(&par.1), bits(&ser.1));
+    }
+}

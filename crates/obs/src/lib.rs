@@ -139,11 +139,27 @@ pub fn registry() -> &'static Registry {
     &global().registry
 }
 
+/// Monotonic ordinal source for [`thread_ord`].
+static NEXT_THREAD_ORD: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ORD: u64 = NEXT_THREAD_ORD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small stable ordinal for the calling thread (0 for whichever thread
+/// touches telemetry first, usually main). Every NDJSON record carries it
+/// as the `thread` field so spans emitted from pool workers are
+/// attributable to a specific thread.
+pub fn thread_ord() -> u64 {
+    THREAD_ORD.with(|t| *t)
+}
+
 /// Serialize one NDJSON record to the active sink.
 fn emit_record(kind: &str, label: &str, fields: &[(&'static str, Value)]) {
     let Some(g) = GLOBAL.get() else {
         return;
     };
+    let thread = thread_ord();
     let mut sink = g.sink.lock();
     if !sink.is_active() {
         return;
@@ -152,6 +168,7 @@ fn emit_record(kind: &str, label: &str, fields: &[(&'static str, Value)]) {
     m.insert("ts_ms", Value::Float(g.epoch.elapsed().as_secs_f64() * 1e3));
     m.insert("kind", Value::String(kind.to_string()));
     m.insert("label", Value::String(label.to_string()));
+    m.insert("thread", Value::Int(i128::from(thread)));
     for (k, v) in fields {
         m.insert(*k, v.clone());
     }
@@ -402,7 +419,16 @@ mod tests {
             assert!(e["ts_ms"].as_f64().is_some(), "ts_ms missing in {e}");
             assert!(e["kind"].as_str().is_some(), "kind missing in {e}");
             assert!(e["label"].as_str().is_some(), "label missing in {e}");
+            assert!(e["thread"].as_i64().is_some(), "thread missing in {e}");
         }
+        // Everything in this capture ran on one thread, so the ordinal is
+        // constant across records.
+        let ords: std::collections::BTreeSet<i64> = events
+            .iter()
+            .map(|e| e["thread"].as_i64().unwrap())
+            .collect();
+        assert_eq!(ords.len(), 1);
+        assert_eq!(*ords.iter().next().unwrap() as u64, thread_ord());
         let gauge_rec = events
             .iter()
             .find(|e| e["label"] == "rt.gauge")

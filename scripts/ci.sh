@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: formatting, lint on the telemetry crate, release build,
-# full test suite, and a smoke-scale telemetry run that checks the NDJSON
-# sink and run-report artifacts are well-formed.
+# Tier-1 CI gate: formatting, lint on the infrastructure crates, release
+# build, full test suite under two thread counts, a smoke-scale telemetry
+# run that checks the NDJSON sink and run-report artifacts, and a
+# thread-count determinism diff on the smoke run's stdout.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy -p rsd-obs (-D warnings)"
-cargo clippy -p rsd-obs --all-targets -- -D warnings
+echo "==> cargo clippy -p rsd-obs -p rsd-par (-D warnings)"
+cargo clippy -p rsd-obs -p rsd-par --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
+echo "==> cargo test -q (default threads)"
 cargo test -q
+
+echo "==> cargo test -q (RSD_THREADS=1)"
+RSD_THREADS=1 cargo test -q
 
 echo "==> telemetry smoke run (RSD_SCALE=smoke)"
 obs_tmp="$(mktemp -d)"
@@ -24,5 +28,13 @@ RSD_SCALE=smoke RSD_OBS="$obs_tmp/table1.ndjson" \
     cargo run --release -q -p rsd-bench --bin table1 >"$obs_tmp/table1.out"
 test -s "$obs_tmp/table1.ndjson" || { echo "NDJSON sink empty"; exit 1; }
 test -s bench_runs/small/table1.report.json || { echo "run report missing"; exit 1; }
+
+echo "==> thread-count determinism (table1 stdout, RSD_THREADS=1 vs 4)"
+RSD_SCALE=smoke RSD_THREADS=1 \
+    cargo run --release -q -p rsd-bench --bin table1 >"$obs_tmp/table1.t1.out"
+RSD_SCALE=smoke RSD_THREADS=4 \
+    cargo run --release -q -p rsd-bench --bin table1 >"$obs_tmp/table1.t4.out"
+diff "$obs_tmp/table1.t1.out" "$obs_tmp/table1.t4.out" \
+    || { echo "table1 stdout differs across thread counts"; exit 1; }
 
 echo "CI gate passed."
