@@ -1,0 +1,100 @@
+//! Build the dataset and write it as JSONL — the harness entry point for
+//! the streaming pipeline and the CI equivalence/resume gates.
+//!
+//! * `RSD_BUILD_MODE=stream` *(default)* runs the sharded streaming
+//!   pipeline; `batch` runs the monolithic reference path. Both produce
+//!   byte-identical JSONL for the same scale/seed.
+//! * `RSD_BUILD_OUT=<path>` writes there (parent dirs created); unset
+//!   writes to stdout.
+//! * `RSD_CHECKPOINT_DIR=<dir>` overrides the checkpoint location
+//!   (default `bench_runs/<scale>/checkpoints`; `none` disables).
+//!   Batch mode never checkpoints.
+//! * `RSD_SHARD_USERS` / `RSD_SHARDS_IN_FLIGHT` size the streaming
+//!   executor; `RSD_INTERRUPT_AFTER_SHARDS` / `RSD_INTERRUPT_AFTER_STAGE`
+//!   inject a mid-build kill for resume testing (exit code 9, so scripts
+//!   can tell an injected interrupt from a real failure).
+
+use std::process::ExitCode;
+
+use rsd_bench::{seed_from_env, Scale};
+use rsd_common::RsdError;
+use rsd_dataset::{io, DatasetBuilder, StreamingOptions};
+
+fn run() -> Result<ExitCode, RsdError> {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let mode = std::env::var("RSD_BUILD_MODE").unwrap_or_else(|_| "stream".to_string());
+    let builder = DatasetBuilder::new(scale.build_config(seed));
+
+    let dataset = match mode.as_str() {
+        "batch" => {
+            let (dataset, _pool, report) = builder.build_batch_with_pool()?;
+            eprintln!(
+                "batch build: {} posts / {} users (raw {} posts)",
+                dataset.n_posts(),
+                dataset.n_users(),
+                report.raw_posts
+            );
+            dataset
+        }
+        "stream" => {
+            let mut opts = StreamingOptions::from_env()?;
+            if opts.checkpoint_dir.is_none() && std::env::var("RSD_CHECKPOINT_DIR").is_err() {
+                opts.checkpoint_dir =
+                    Some(format!("bench_runs/{}/checkpoints", scale.name()).into());
+            }
+            let out = builder.build_streaming(&opts)?;
+            let p = &out.pipeline;
+            eprintln!(
+                "streaming build: {} posts / {} users | {} shards x {} users, {} in flight, \
+                 peak resident {} posts, checkpoints {} hit / {} written",
+                out.dataset.n_posts(),
+                out.dataset.n_users(),
+                p.shards,
+                p.shard_users,
+                p.shards_in_flight,
+                p.peak_resident_posts,
+                p.checkpoint_hits,
+                p.checkpoint_writes
+            );
+            out.dataset
+        }
+        other => {
+            return Err(RsdError::config(
+                "RSD_BUILD_MODE",
+                format!("unknown mode {other:?}; accepted values: stream, batch"),
+            ))
+        }
+    };
+
+    match std::env::var("RSD_BUILD_OUT") {
+        Ok(path) if !path.is_empty() => {
+            let path = std::path::PathBuf::from(path);
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).map_err(RsdError::from)?;
+            }
+            io::save(&dataset, &path)?;
+            eprintln!("wrote {}", path.display());
+        }
+        _ => {
+            let stdout = std::io::stdout();
+            io::to_jsonl(&dataset, stdout.lock())?;
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        // Injected interrupts (resume tests) exit 9; real failures exit 1.
+        Err(RsdError::PipelineState(msg)) if msg.contains("interrupted") => {
+            eprintln!("interrupted: {msg}");
+            ExitCode::from(9)
+        }
+        Err(e) => {
+            eprintln!("build failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

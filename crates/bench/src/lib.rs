@@ -33,13 +33,30 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Read from `RSD_SCALE` (default `mid`). `smoke` is an alias for
-    /// `small`, matching the CI invocation.
+    /// Parse a scale name. `smoke` is an alias for `small`, matching the
+    /// CI invocation.
+    pub fn parse(name: &str) -> Result<Scale, String> {
+        match name {
+            "paper" => Ok(Scale::Paper),
+            "mid" => Ok(Scale::Mid),
+            "small" | "smoke" => Ok(Scale::Small),
+            other => Err(format!(
+                "unknown RSD_SCALE value {other:?}; accepted values: paper, mid, small, smoke"
+            )),
+        }
+    }
+
+    /// Read from `RSD_SCALE` (unset or empty means `mid`). Unknown values
+    /// abort instead of silently falling back — a typoed scale must never
+    /// quietly run a different experiment.
     pub fn from_env() -> Scale {
-        match std::env::var("RSD_SCALE").as_deref() {
-            Ok("paper") => Scale::Paper,
-            Ok("small") | Ok("smoke") => Scale::Small,
-            _ => Scale::Mid,
+        match std::env::var("RSD_SCALE") {
+            Err(_) => Scale::Mid,
+            Ok(raw) if raw.is_empty() => Scale::Mid,
+            Ok(raw) => match Scale::parse(&raw) {
+                Ok(scale) => scale,
+                Err(message) => panic!("{message}"),
+            },
         }
     }
 
@@ -225,6 +242,19 @@ pub fn table3_configs(scale: Scale) -> Table3Configs {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scale_parse_accepts_known_and_rejects_typos() {
+        assert_eq!(Scale::parse("paper"), Ok(Scale::Paper));
+        assert_eq!(Scale::parse("mid"), Ok(Scale::Mid));
+        assert_eq!(Scale::parse("small"), Ok(Scale::Small));
+        assert_eq!(Scale::parse("smoke"), Ok(Scale::Small));
+        let err = Scale::parse("midd").unwrap_err();
+        assert!(
+            err.contains("midd") && err.contains("accepted values"),
+            "{err}"
+        );
+    }
 
     #[test]
     fn small_scale_prepares() {

@@ -151,6 +151,19 @@ impl RawCorpus {
     }
 }
 
+/// One generated user shard: a contiguous range of users with their
+/// posts. Authors carry **global** user ids; post ids are **shard-local**
+/// (`posts[i].id == PostId(i)`), with `duplicate_of` references remapped
+/// into the same local space (reposts only ever cite the same user's
+/// earlier posts, so they never cross a shard boundary).
+#[derive(Debug, Clone)]
+pub struct ShardCorpus {
+    /// The shard's users with their chronological (shard-local) post ids.
+    pub users: Vec<RawUser>,
+    /// The shard's posts in user order.
+    pub posts: Vec<RawPost>,
+}
+
 /// The generator itself. Stateless apart from configuration; call
 /// [`CorpusGenerator::generate`].
 #[derive(Debug, Clone)]
@@ -180,18 +193,41 @@ impl CorpusGenerator {
     pub fn generate(&self) -> RawCorpus {
         let _span = rsd_obs::Span::enter("corpus.generate");
         let started = rsd_obs::enabled().then(std::time::Instant::now);
-        let cfg = &self.cfg;
-        let mut users = Vec::with_capacity(cfg.n_users);
+        let shard = self.generate_shard(0..self.cfg.n_users as u32);
+        let ShardCorpus { users, posts } = shard;
+
+        rsd_obs::counter_add("corpus.users", users.len() as u64);
+        rsd_obs::counter_add("corpus.posts", posts.len() as u64);
+        if let Some(started) = started {
+            let secs = started.elapsed().as_secs_f64().max(1e-9);
+            rsd_obs::gauge("corpus.users_per_sec", users.len() as f64 / secs);
+            rsd_obs::gauge("corpus.posts_per_sec", posts.len() as f64 / secs);
+        }
+        RawCorpus { users, posts }
+    }
+
+    /// Generate one contiguous user range of the corpus.
+    ///
+    /// User substreams are seeded by **global** user index, so
+    /// `generate_shard(a..b)` drafts exactly the posts those users get in
+    /// a full [`CorpusGenerator::generate`] run; only post ids differ —
+    /// they are dense within the shard (`PostId(0..)`), and a streaming
+    /// merge restores global ids by offsetting with the raw-post counts of
+    /// the preceding shards. `generate()` itself is the single-shard case
+    /// `generate_shard(0..n_users)`.
+    pub fn generate_shard(&self, user_range: std::ops::Range<u32>) -> ShardCorpus {
+        let uids: Vec<u32> = user_range.collect();
+        let mut users = Vec::with_capacity(uids.len());
         let mut posts: Vec<RawPost> = Vec::new();
 
-        let mut drafts: Vec<Option<Vec<RawPost>>> = (0..cfg.n_users).map(|_| None).collect();
+        let mut drafts: Vec<Option<Vec<RawPost>>> = uids.iter().map(|_| None).collect();
         rsd_par::parallel_chunks_mut(&mut drafts, 32, |start, chunk| {
             for (off, slot) in chunk.iter_mut().enumerate() {
-                *slot = Some(self.generate_user(start + off));
+                *slot = Some(self.generate_user(uids[start + off] as usize));
             }
         });
 
-        for (uidx, draft) in drafts.into_iter().enumerate() {
+        for (&uid, draft) in uids.iter().zip(drafts) {
             let local = draft.expect("user drafted");
             let offset = posts.len() as u32;
             let mut post_ids = Vec::with_capacity(local.len());
@@ -204,19 +240,11 @@ impl CorpusGenerator {
                 posts.push(post);
             }
             users.push(RawUser {
-                id: UserId(uidx as u32),
+                id: UserId(uid),
                 post_ids,
             });
         }
-
-        rsd_obs::counter_add("corpus.users", users.len() as u64);
-        rsd_obs::counter_add("corpus.posts", posts.len() as u64);
-        if let Some(started) = started {
-            let secs = started.elapsed().as_secs_f64().max(1e-9);
-            rsd_obs::gauge("corpus.users_per_sec", users.len() as f64 / secs);
-            rsd_obs::gauge("corpus.posts_per_sec", posts.len() as f64 / secs);
-        }
-        RawCorpus { users, posts }
+        ShardCorpus { users, posts }
     }
 
     /// Draft one user's posts with ids local to the user (`PostId(0..n)`).

@@ -35,10 +35,12 @@ pub mod lexicon;
 pub mod reddit;
 pub mod risk;
 pub mod selection;
+pub mod source;
 pub mod textgen;
 pub mod types;
 
-pub use generator::{CorpusConfig, CorpusGenerator, RawCorpus};
+pub use generator::{CorpusConfig, CorpusGenerator, RawCorpus, ShardCorpus};
 pub use risk::RiskLevel;
 pub use selection::{select_users_for_annotation, SelectionConfig};
+pub use source::{CorpusShardSource, CrawledShard};
 pub use types::{PostId, RawPost, RawUser, UserId};

@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use crate::record::{Post, Rsd15k, UserRecord};
+use crate::stream::{StreamingBuild, StreamingOptions};
 use rsd_annotation::{Campaign, CampaignConfig, CampaignReport};
 use rsd_common::{Result, RsdError};
 use rsd_corpus::reddit::{CrawlClient, CrawlStats};
@@ -111,7 +112,29 @@ impl DatasetBuilder {
     /// selected for annotation. This is the in-domain corpus the PLM
     /// baselines pretrain on (the paper's crawl minus its annotated
     /// subset).
+    ///
+    /// Since the streaming refactor this runs the sharded pipeline (see
+    /// [`crate::stream`]) with options read from the environment
+    /// (`RSD_SHARD_USERS`, `RSD_SHARDS_IN_FLIGHT`, `RSD_CHECKPOINT_DIR`);
+    /// its output is bit-identical to [`DatasetBuilder::build_batch_with_pool`].
     pub fn build_with_pool(&self) -> Result<(Rsd15k, Vec<String>, BuildReport)> {
+        let opts = StreamingOptions::from_env()?;
+        let out = self.build_streaming(&opts)?;
+        Ok((out.dataset, out.unlabeled, out.report))
+    }
+
+    /// Run the streaming sharded pipeline with explicit options, returning
+    /// the executor's report (shard count, residency peak, checkpoint
+    /// traffic) alongside the dataset.
+    pub fn build_streaming(&self, opts: &StreamingOptions) -> Result<StreamingBuild> {
+        let _build_span = rsd_obs::Span::enter("dataset.build");
+        crate::stream::build_streaming(&self.cfg, opts)
+    }
+
+    /// The original monolithic batch pipeline, kept as the golden
+    /// reference the streaming path is diffed against (CI compares their
+    /// JSONL outputs byte for byte).
+    pub fn build_batch_with_pool(&self) -> Result<(Rsd15k, Vec<String>, BuildReport)> {
         let _build_span = rsd_obs::Span::enter("dataset.build");
         let cfg = &self.cfg;
 
@@ -134,8 +157,8 @@ impl DatasetBuilder {
         let crawl_stats = client.stats();
         drop(crawl_span);
 
-        // 3. Preprocess.
-        let bodies: Vec<String> = crawled.iter().map(|p| p.body.clone()).collect();
+        // 3. Preprocess, borrowing the crawled bodies (no corpus clone).
+        let bodies: Vec<&str> = crawled.iter().map(|p| p.body.as_str()).collect();
         let outcome = cfg.preprocess.run(&bodies);
 
         // Surviving posts, with cleaned text attached.

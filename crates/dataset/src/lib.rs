@@ -10,6 +10,9 @@
 //!   pool → crawl it through the simulated Reddit API → preprocess →
 //!   select the annotation pool → run the annotation campaign → assemble
 //!   the dataset. One call reproduces the paper's data section.
+//! * [`stream`] — the sharded streaming implementation behind the builder:
+//!   bounded shards-in-flight on `rsd-pipeline`, checkpoint/resume at
+//!   stage boundaries, output bit-identical to the batch path.
 //! * [`splits`] — user-disjoint 80/10/10 partitioning and the
 //!   `window = 5` sequential-post extraction the benchmark task uses.
 //! * [`io`] — JSON-lines round-trip and CSV export.
@@ -27,8 +30,10 @@ pub mod privacy;
 pub mod record;
 pub mod splits;
 pub mod stats;
+pub mod stream;
 pub mod trajectory;
 
 pub use builder::{BuildConfig, BuildReport, DatasetBuilder};
 pub use record::{Post, Rsd15k, UserRecord};
 pub use splits::{DatasetSplits, SplitConfig, UserWindow};
+pub use stream::{StreamingBuild, StreamingOptions};

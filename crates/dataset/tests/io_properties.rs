@@ -1,0 +1,100 @@
+//! Property tests on the JSONL reader's malformed-input behaviour: no
+//! panic, and a hard error for every way a file can be garbage, corrupted
+//! in place, extended with junk, or truncated.
+
+use proptest::prelude::*;
+
+use rsd_annotation::LabelSource;
+use rsd_common::Timestamp;
+use rsd_corpus::{PostId, RiskLevel, UserId};
+use rsd_dataset::io::{from_jsonl, to_jsonl};
+use rsd_dataset::{Post, Rsd15k, UserRecord};
+
+/// A small valid dataset: one user, `n` chronological posts.
+fn tiny(n: usize) -> Rsd15k {
+    let posts: Vec<Post> = (0..n)
+        .map(|i| Post {
+            id: PostId(i as u32),
+            user: UserId(0),
+            created: Timestamp(100 + i as i64),
+            text: format!("cleaned body {i}"),
+            label: RiskLevel::Ideation,
+            source: LabelSource::Individual,
+        })
+        .collect();
+    let dataset = Rsd15k {
+        users: vec![UserRecord {
+            id: UserId(0),
+            post_indices: (0..n).collect(),
+        }],
+        posts,
+        seed: 7,
+    };
+    dataset.validate().expect("fixture must be valid");
+    dataset
+}
+
+fn serialized(n: usize) -> String {
+    let mut buf = Vec::new();
+    to_jsonl(&tiny(n), &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+proptest! {
+    /// Arbitrary garbage never panics and never yields a dataset: the
+    /// generator's character pool contains no braces, so no line of it can
+    /// parse as the JSON header object.
+    #[test]
+    fn garbage_input_errors(raw in ".{0,400}") {
+        prop_assert!(from_jsonl(raw.as_bytes()).is_err());
+    }
+
+    /// Corrupting any single post line (the header is line 0) is detected,
+    /// either as a parse failure or as a header/post-count mismatch when
+    /// the replacement collapses to a blank line.
+    #[test]
+    fn corrupt_post_line_errors(idx in 1usize..6, junk in ".{0,80}") {
+        let text = serialized(5);
+        let mangled: Vec<&str> = text
+            .lines()
+            .enumerate()
+            .map(|(i, line)| if i == idx { junk.as_str() } else { line })
+            .collect();
+        prop_assert!(from_jsonl(mangled.join("\n").as_bytes()).is_err());
+    }
+
+    /// Trailing junk after the declared posts is rejected (blank trailing
+    /// lines are explicitly tolerated by the format).
+    #[test]
+    fn trailing_junk_errors(junk in ".{1,80}") {
+        let mut text = serialized(4);
+        text.push_str(&junk);
+        text.push('\n');
+        let result = from_jsonl(text.as_bytes());
+        if junk.trim().is_empty() {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    /// Dropping any number of trailing post lines is caught by the
+    /// header's declared count.
+    #[test]
+    fn truncation_errors(k in 1usize..5) {
+        let text = serialized(5);
+        let kept: Vec<&str> = text.lines().take(1 + 5 - k).collect();
+        prop_assert!(from_jsonl(kept.join("\n").as_bytes()).is_err());
+    }
+
+    /// Duplicating a post line is caught: the count mismatches, and even
+    /// with a fixed-up header the timeline validation rejects it.
+    #[test]
+    fn duplicated_post_line_errors(idx in 1usize..5) {
+        let text = serialized(4);
+        let lines: Vec<&str> = text.lines().collect();
+        let mut mangled = lines.clone();
+        mangled.insert(idx, lines[idx]);
+        prop_assert!(from_jsonl(mangled.join("\n").as_bytes()).is_err());
+    }
+}

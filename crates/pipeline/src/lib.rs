@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! `rsd-pipeline` — the workspace's streaming build substrate.
+//!
+//! The paper's pipeline (crawl → preprocess → select → annotate →
+//! assemble) operates over a corpus far larger than the annotated subset,
+//! so the build must not hold every intermediate alive at once. This crate
+//! provides the machinery the dataset builder runs on:
+//!
+//! * **User shards** ([`ShardSpec`], [`ShardPlan`]) — a shard is a
+//!   contiguous range of user ids, sized by [`PipelineConfig::shard_users`].
+//!   Shard boundaries are a pure function of corpus size and shard size,
+//!   never of thread count, mirroring the `rsd-par` determinism contract.
+//! * **Typed stages** ([`Source`], [`Stage`], [`Sink`]) — per-shard work is
+//!   composed with [`ShardTaskExt::then`] into a [`ShardTask`] chain; the
+//!   sink consumes artifacts strictly in ascending shard order, so the
+//!   merged output is bit-identical to a monolithic batch run.
+//! * **Bounded executor** ([`run_shards`]) — at most
+//!   [`PipelineConfig::shards_in_flight`] shards are materialized at any
+//!   moment; workers come from the existing `rsd-par` pool.
+//! * **Checkpoints** ([`Checkpointer`], [`Artifact`]) — each completed
+//!   shard×stage boundary persists a JSONL artifact plus a manifest, so a
+//!   killed build resumes from the last completed boundary instead of
+//!   restarting. Artifacts are keyed by a config fingerprint; stale or
+//!   truncated checkpoints are silently recomputed.
+//! * **Residency accounting** ([`ResidentGauge`]) — stages report how many
+//!   raw posts they hold, surfacing the bounded-memory claim as the
+//!   `pipeline.peak_resident_posts` gauge instead of asserting it.
+
+pub mod checkpoint;
+pub mod executor;
+pub mod resident;
+pub mod shard;
+pub mod stage;
+
+pub use checkpoint::{config_fingerprint, global_stage, Artifact, Checkpointer};
+pub use executor::{run_shards, PipelineConfig, PipelineReport};
+pub use resident::ResidentGauge;
+pub use shard::{ShardPlan, ShardSpec};
+pub use stage::{Checkpointed, ShardTask, ShardTaskExt, Sink, Source, SourceTask, Stage, Then};

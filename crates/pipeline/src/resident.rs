@@ -1,0 +1,76 @@
+//! Residency accounting: how many raw posts are alive inside in-flight
+//! shard stages, so the bounded-memory claim is observable.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A cloneable counter shared by the stages of one build. Sources `add`
+/// when they materialize posts; stages `sub` once they have distilled
+/// them. The high-water mark is emitted as the
+/// `pipeline.peak_resident_posts` gauge and surfaced in
+/// [`crate::PipelineReport`]. Per-build (not global) so concurrent builds
+/// in one process don't pollute each other's peaks.
+#[derive(Debug, Clone, Default)]
+pub struct ResidentGauge(Arc<Inner>);
+
+#[derive(Debug, Default)]
+struct Inner {
+    current: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl ResidentGauge {
+    /// Fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` posts becoming resident.
+    pub fn add(&self, n: usize) {
+        let now = self.0.current.fetch_add(n as i64, Ordering::Relaxed) + n as i64;
+        self.0.peak.fetch_max(now, Ordering::Relaxed);
+        rsd_obs::gauge("pipeline.peak_resident_posts", self.peak() as f64);
+    }
+
+    /// Record `n` posts being released.
+    pub fn sub(&self, n: usize) {
+        self.0.current.fetch_sub(n as i64, Ordering::Relaxed);
+    }
+
+    /// Posts currently resident (can transiently be negative if release
+    /// races ahead of another shard's admission accounting).
+    pub fn current(&self) -> i64 {
+        self.0.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of resident posts.
+    pub fn peak(&self) -> u64 {
+        self.0.peak.load(Ordering::Relaxed).max(0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let g = ResidentGauge::new();
+        g.add(100);
+        g.add(50);
+        g.sub(120);
+        g.add(10);
+        assert_eq!(g.current(), 40);
+        assert_eq!(g.peak(), 150);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let g = ResidentGauge::new();
+        let h = g.clone();
+        g.add(5);
+        h.add(7);
+        assert_eq!(g.current(), 12);
+        assert_eq!(h.peak(), 12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Shard geometry: contiguous user-id ranges.
+
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use rsd_common::{Result, RsdError};
+
+/// One shard: a half-open range of global user ids, plus its ordinal in
+/// the plan. The ordinal is the fold order — sinks receive artifacts in
+/// ascending `index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Zero-based shard ordinal.
+    pub index: usize,
+    /// First user id covered (inclusive).
+    pub start_user: u32,
+    /// One past the last user id covered.
+    pub end_user: u32,
+}
+
+impl ShardSpec {
+    /// The covered user ids as a range.
+    pub fn users(&self) -> Range<u32> {
+        self.start_user..self.end_user
+    }
+
+    /// Number of users in the shard.
+    pub fn n_users(&self) -> usize {
+        (self.end_user - self.start_user) as usize
+    }
+}
+
+/// Deterministic shard plan: `n_users` users split into shards of
+/// `shard_users` each (the last shard may be smaller). Boundaries depend
+/// only on these two sizes — never on thread count or schedule — so any
+/// execution order folds into identical output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    n_users: u32,
+    shard_users: u32,
+}
+
+impl ShardPlan {
+    /// Build a plan; both sizes must be positive.
+    pub fn new(n_users: u32, shard_users: u32) -> Result<Self> {
+        if n_users == 0 {
+            return Err(RsdError::config("n_users", "must be positive"));
+        }
+        if shard_users == 0 {
+            return Err(RsdError::config("shard_users", "must be positive"));
+        }
+        Ok(ShardPlan {
+            n_users,
+            shard_users,
+        })
+    }
+
+    /// Total users covered.
+    pub fn n_users(&self) -> u32 {
+        self.n_users
+    }
+
+    /// Users per shard (except possibly the last).
+    pub fn shard_users(&self) -> u32 {
+        self.shard_users
+    }
+
+    /// Number of shards in the plan.
+    pub fn n_shards(&self) -> usize {
+        self.n_users.div_ceil(self.shard_users) as usize
+    }
+
+    /// The `index`-th shard.
+    ///
+    /// # Panics
+    /// If `index >= n_shards()`.
+    pub fn shard(&self, index: usize) -> ShardSpec {
+        assert!(index < self.n_shards(), "shard index out of range");
+        let start = index as u32 * self.shard_users;
+        ShardSpec {
+            index,
+            start_user: start,
+            end_user: (start + self.shard_users).min(self.n_users),
+        }
+    }
+
+    /// All shards in fold order.
+    pub fn shards(&self) -> impl Iterator<Item = ShardSpec> + '_ {
+        (0..self.n_shards()).map(|i| self.shard(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_every_user_exactly_once() {
+        let plan = ShardPlan::new(10_000, 4_096).unwrap();
+        assert_eq!(plan.n_shards(), 3);
+        let shards: Vec<ShardSpec> = plan.shards().collect();
+        assert_eq!(shards[0].users(), 0..4_096);
+        assert_eq!(shards[1].users(), 4_096..8_192);
+        assert_eq!(shards[2].users(), 8_192..10_000);
+        let total: usize = shards.iter().map(ShardSpec::n_users).sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_runt_shard() {
+        let plan = ShardPlan::new(8_192, 4_096).unwrap();
+        assert_eq!(plan.n_shards(), 2);
+        assert_eq!(plan.shard(1).n_users(), 4_096);
+    }
+
+    #[test]
+    fn oversized_shard_covers_all_users() {
+        let plan = ShardPlan::new(100, 4_096).unwrap();
+        assert_eq!(plan.n_shards(), 1);
+        assert_eq!(plan.shard(0).users(), 0..100);
+    }
+
+    #[test]
+    fn zero_sizes_rejected() {
+        assert!(ShardPlan::new(0, 10).is_err());
+        assert!(ShardPlan::new(10, 0).is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_through_serde() {
+        let spec = ShardPlan::new(10, 4).unwrap().shard(2);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ShardSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

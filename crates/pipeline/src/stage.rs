@@ -1,0 +1,135 @@
+//! The typed stage graph: per-shard sources, stages, sinks, and the
+//! composable [`ShardTask`] chains the executor runs.
+
+use crate::checkpoint::{Artifact, Checkpointer};
+use crate::shard::ShardSpec;
+use rsd_common::Result;
+
+/// Produces a shard's initial data (e.g. generate + crawl a user range).
+pub trait Source: Sync {
+    /// What the source emits per shard.
+    type Out: Send;
+
+    /// Stable name, used as the `rsd-obs` span label.
+    fn name(&self) -> &'static str;
+
+    /// Materialize one shard.
+    fn load(&self, shard: &ShardSpec) -> Result<Self::Out>;
+}
+
+/// Transforms a shard's data (e.g. preprocess crawled bodies). Stages
+/// take their input by value so they can drop bulky upstream state as
+/// soon as they have distilled it.
+pub trait Stage<In>: Sync {
+    /// What the stage emits per shard.
+    type Out: Send;
+
+    /// Stable name, used as the `rsd-obs` span label.
+    fn name(&self) -> &'static str;
+
+    /// Transform one shard.
+    fn apply(&self, shard: &ShardSpec, input: In) -> Result<Self::Out>;
+}
+
+/// Consumes per-shard artifacts **in ascending shard order** — the merge
+/// point where sharded results fold into global state. Order is enforced
+/// by the executor, which is what makes streaming output bit-identical to
+/// a batch run.
+pub trait Sink<In> {
+    /// Fold one shard's artifact into the accumulated state.
+    fn accept(&mut self, shard: &ShardSpec, item: In) -> Result<()>;
+}
+
+/// A runnable per-shard computation: a source plus zero or more stages,
+/// possibly with checkpointed boundaries. Built via [`SourceTask`] and
+/// the [`ShardTaskExt`] combinators, executed by
+/// [`crate::executor::run_shards`].
+pub trait ShardTask: Sync {
+    /// The chain's final per-shard output.
+    type Out: Send;
+
+    /// Run the chain for one shard. `ckpt` is threaded through so
+    /// [`Checkpointed`] links can short-circuit.
+    fn run(&self, shard: &ShardSpec, ckpt: Option<&Checkpointer>) -> Result<Self::Out>;
+}
+
+/// Adapts a [`Source`] into the head of a [`ShardTask`] chain.
+pub struct SourceTask<S>(pub S);
+
+impl<S: Source> ShardTask for SourceTask<S> {
+    type Out = S::Out;
+
+    fn run(&self, shard: &ShardSpec, _ckpt: Option<&Checkpointer>) -> Result<Self::Out> {
+        let _span = rsd_obs::Span::enter(self.0.name());
+        self.0.load(shard)
+    }
+}
+
+/// A task followed by a stage (`task.then(stage)`).
+pub struct Then<T, St> {
+    task: T,
+    stage: St,
+}
+
+impl<T, St> ShardTask for Then<T, St>
+where
+    T: ShardTask,
+    St: Stage<T::Out>,
+{
+    type Out = St::Out;
+
+    fn run(&self, shard: &ShardSpec, ckpt: Option<&Checkpointer>) -> Result<Self::Out> {
+        let input = self.task.run(shard, ckpt)?;
+        let _span = rsd_obs::Span::enter(self.stage.name());
+        self.stage.apply(shard, input)
+    }
+}
+
+/// A checkpointed boundary (`task.checkpoint("stage")`): if a valid
+/// artifact exists for this shard, the inner chain is skipped entirely
+/// (upstream sources never run); otherwise the chain runs and its output
+/// is persisted before being handed downstream.
+pub struct Checkpointed<T> {
+    task: T,
+    stage: &'static str,
+}
+
+impl<T> ShardTask for Checkpointed<T>
+where
+    T: ShardTask,
+    T::Out: Artifact,
+{
+    type Out = T::Out;
+
+    fn run(&self, shard: &ShardSpec, ckpt: Option<&Checkpointer>) -> Result<Self::Out> {
+        if let Some(c) = ckpt {
+            if let Some(value) = c.load(self.stage, Some(shard)) {
+                return Ok(value);
+            }
+        }
+        let out = self.task.run(shard, ckpt)?;
+        if let Some(c) = ckpt {
+            c.store(self.stage, Some(shard), &out)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Chain-building combinators, available on every [`ShardTask`].
+pub trait ShardTaskExt: ShardTask + Sized {
+    /// Append a stage to the chain.
+    fn then<St: Stage<Self::Out>>(self, stage: St) -> Then<Self, St> {
+        Then { task: self, stage }
+    }
+
+    /// Mark the current chain output as a checkpointed boundary under
+    /// `stage` (the artifact-file stem).
+    fn checkpoint(self, stage: &'static str) -> Checkpointed<Self>
+    where
+        Self::Out: Artifact,
+    {
+        Checkpointed { task: self, stage }
+    }
+}
+
+impl<T: ShardTask> ShardTaskExt for T {}

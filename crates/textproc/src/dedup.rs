@@ -25,20 +25,58 @@ pub fn fingerprint(cleaned: &str) -> u64 {
 /// `Some(first_index)` if it duplicates an earlier item, else `None`.
 pub fn find_duplicates(cleaned_bodies: &[String]) -> Vec<Option<usize>> {
     let canon: Vec<String> = cleaned_bodies.iter().map(|b| canonical(b)).collect();
-    let mut first_seen: HashMap<u64, usize> = HashMap::with_capacity(canon.len());
-    let mut out = Vec::with_capacity(canon.len());
-    for (idx, body) in canon.iter().enumerate() {
-        let fp = fnv1a(body.as_bytes());
-        match first_seen.get(&fp) {
+    let mut dedup = ChronoDedup::with_capacity(canon.len());
+    canon
+        .iter()
+        .map(|body| dedup.push(fnv1a(body.as_bytes()), |orig| canon[orig] == *body))
+        .collect()
+}
+
+/// Incremental first-occurrence detector over a chronological stream.
+///
+/// This is [`find_duplicates`] factored into push form so the streaming
+/// build can run the *same* dedup decision procedure over globally merged
+/// shards: items are pushed in chronological order, each with its
+/// canonical-form fingerprint and an equality probe used as the hash
+/// collision guard. Decision semantics are identical, including the
+/// collision corner case (a colliding-but-different body is kept and does
+/// **not** displace the first-seen index for that fingerprint).
+#[derive(Debug, Default)]
+pub struct ChronoDedup {
+    first_seen: HashMap<u64, usize>,
+    next: usize,
+}
+
+impl ChronoDedup {
+    /// Empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty detector with pre-sized table.
+    pub fn with_capacity(n: usize) -> Self {
+        ChronoDedup {
+            first_seen: HashMap::with_capacity(n),
+            next: 0,
+        }
+    }
+
+    /// Record the next item (index assigned in push order). `fp` is its
+    /// canonical-form fingerprint; `same_as(orig)` must report whether the
+    /// item's canonical form equals that of the earlier item `orig`.
+    /// Returns `Some(first_index)` if the item duplicates an earlier one.
+    pub fn push(&mut self, fp: u64, same_as: impl FnOnce(usize) -> bool) -> Option<usize> {
+        let idx = self.next;
+        self.next += 1;
+        match self.first_seen.get(&fp) {
             // Hash collision guard: verify actual equality before marking.
-            Some(&orig) if canon[orig] == *body => out.push(Some(orig)),
+            Some(&orig) if same_as(orig) => Some(orig),
             _ => {
-                first_seen.entry(fp).or_insert(idx);
-                out.push(None);
+                self.first_seen.entry(fp).or_insert(idx);
+                None
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -70,6 +108,19 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(find_duplicates(&[]).is_empty());
+    }
+
+    #[test]
+    fn chrono_dedup_matches_batch_semantics_on_collisions() {
+        // Two distinct bodies sharing a fingerprint: the second survives
+        // and must NOT displace the first-seen index, so a later true
+        // duplicate of the first body still maps to index 0.
+        let mut d = ChronoDedup::new();
+        let canon = ["alpha", "beta", "alpha"];
+        let shared_fp = 42u64;
+        assert_eq!(d.push(shared_fp, |o| canon[o] == canon[0]), None);
+        assert_eq!(d.push(shared_fp, |o| canon[o] == canon[1]), None);
+        assert_eq!(d.push(shared_fp, |o| canon[o] == canon[2]), Some(0));
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub mod tokenize;
 pub mod vocab;
 
 pub use clean::clean_text;
-pub use pipeline::{PreprocessReport, Preprocessor};
+pub use dedup::ChronoDedup;
+pub use pipeline::{PostAnalysis, PostFate, PreprocessReport, Preprocessor};
 pub use tfidf::{SparseVec, TfIdfVectorizer};
 pub use tokenize::{sentences, tokenize};
 pub use vocab::{SpecialToken, Vocabulary};

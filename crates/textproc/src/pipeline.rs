@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::clean::clean_text;
-use crate::dedup::find_duplicates;
+use crate::dedup::{canonical, find_duplicates};
 use crate::relevance::is_relevant;
 use crate::tokenize::token_count;
 
@@ -61,14 +61,45 @@ pub struct PreprocessOutcome {
     pub report: PreprocessReport,
 }
 
+/// Everything the pipeline derives for a single post, minus the dedup
+/// decision — that one needs cross-post chronological context, which the
+/// streaming build supplies globally via [`crate::dedup::ChronoDedup`].
+#[derive(Debug, Clone)]
+pub struct PostAnalysis {
+    /// The cleaned body.
+    pub cleaned: String,
+    /// Canonical (token-joined) form used for duplicate comparison.
+    pub canon: String,
+    /// Passes the relevance filter (always `true` when the filter is
+    /// disabled, matching batch semantics).
+    pub relevant: bool,
+    /// Cleaned token count.
+    pub tokens: usize,
+}
+
+/// What happened to a post, in the batch pipeline's stage order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostFate {
+    /// Survived every filter.
+    Kept,
+    /// Removed by the relevance filter.
+    Irrelevant,
+    /// Removed as a duplicate of an earlier post.
+    Duplicate,
+    /// Removed for having fewer than `min_tokens` cleaned tokens.
+    TooShort,
+}
+
 impl Preprocessor {
     /// Run the pipeline over raw bodies (chronological order expected: the
-    /// dedup stage keeps first occurrences).
-    pub fn run(&self, raw_bodies: &[String]) -> PreprocessOutcome {
+    /// dedup stage keeps first occurrences). Accepts any string-like
+    /// slice, so callers can pass borrowed bodies without cloning the
+    /// corpus.
+    pub fn run<S: AsRef<str>>(&self, raw_bodies: &[S]) -> PreprocessOutcome {
         let _pipeline = rsd_obs::Span::enter("textproc.pipeline");
         let cleaned: Vec<String> = {
             let _s = rsd_obs::Span::enter("textproc.pipeline.clean");
-            raw_bodies.iter().map(|b| clean_text(b)).collect()
+            raw_bodies.iter().map(|b| clean_text(b.as_ref())).collect()
         };
         let mut keep = vec![true; cleaned.len()];
         let mut report = PreprocessReport {
@@ -122,6 +153,42 @@ impl Preprocessor {
             report,
         }
     }
+
+    /// Analyze one raw body: clean it and precompute everything the keep
+    /// decision needs except the (global, cross-post) dedup verdict.
+    pub fn analyze(&self, raw_body: &str) -> PostAnalysis {
+        let cleaned = clean_text(raw_body);
+        let canon = canonical(&cleaned);
+        let relevant = !self.filter_irrelevant || is_relevant(&cleaned);
+        let tokens = token_count(&cleaned);
+        PostAnalysis {
+            cleaned,
+            canon,
+            relevant,
+            tokens,
+        }
+    }
+
+    /// Combine a [`PostAnalysis`] with its dedup verdict into the post's
+    /// fate, replicating the batch stage order (relevance → dedup →
+    /// length) and its removal accounting exactly.
+    pub fn classify(&self, analysis: &PostAnalysis, duplicate: bool) -> PostFate {
+        self.classify_parts(analysis.relevant, analysis.tokens, duplicate)
+    }
+
+    /// [`Preprocessor::classify`] for callers that persisted the analysis
+    /// fields (relevance verdict and token count) without the texts.
+    pub fn classify_parts(&self, relevant: bool, tokens: usize, duplicate: bool) -> PostFate {
+        if !relevant {
+            PostFate::Irrelevant
+        } else if self.remove_duplicates && duplicate {
+            PostFate::Duplicate
+        } else if tokens < self.min_tokens {
+            PostFate::TooShort
+        } else {
+            PostFate::Kept
+        }
+    }
 }
 
 #[cfg(test)]
@@ -173,9 +240,48 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let out = Preprocessor::default().run(&[]);
+        let out = Preprocessor::default().run::<String>(&[]);
         assert_eq!(out.report, PreprocessReport::default());
         assert!(out.cleaned.is_empty());
+    }
+
+    #[test]
+    fn run_accepts_borrowed_bodies() {
+        let raw = ["i want to end it all tonight"];
+        let owned = bodies(&raw);
+        let from_borrowed = Preprocessor::default().run(&raw);
+        let from_owned = Preprocessor::default().run(&owned);
+        assert_eq!(from_borrowed.cleaned, from_owned.cleaned);
+        assert_eq!(from_borrowed.keep, from_owned.keep);
+        assert_eq!(from_borrowed.report, from_owned.report);
+    }
+
+    #[test]
+    fn analyze_plus_classify_matches_run() {
+        use crate::dedup::{find_duplicates, ChronoDedup};
+        use rsd_common::rng::fnv1a;
+        let raw = bodies(&[
+            "i want to end it all tonight",
+            "patch notes nerfed my favorite loadout",
+            "i want to end it all tonight",
+            "suicide",
+            "I want to END it all tonight!!",
+        ]);
+        let pp = Preprocessor::default();
+        let batch = pp.run(&raw);
+        let dups = find_duplicates(&batch.cleaned);
+
+        let analyses: Vec<PostAnalysis> = raw.iter().map(|b| pp.analyze(b)).collect();
+        let mut dedup = ChronoDedup::new();
+        for (i, a) in analyses.iter().enumerate() {
+            assert_eq!(a.cleaned, batch.cleaned[i]);
+            let dup = dedup
+                .push(fnv1a(a.canon.as_bytes()), |o| analyses[o].canon == a.canon)
+                .is_some();
+            assert_eq!(dup, dups[i].is_some(), "post {i}");
+            let fate = pp.classify(a, dup);
+            assert_eq!(fate == PostFate::Kept, batch.keep[i], "post {i}");
+        }
     }
 
     #[test]

@@ -9,8 +9,8 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy -p rsd-obs -p rsd-par (-D warnings)"
-cargo clippy -p rsd-obs -p rsd-par --all-targets -- -D warnings
+echo "==> cargo clippy -p rsd-obs -p rsd-par -p rsd-pipeline (-D warnings)"
+cargo clippy -p rsd-obs -p rsd-par -p rsd-pipeline --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
@@ -36,5 +36,36 @@ RSD_SCALE=smoke RSD_THREADS=4 \
     cargo run --release -q -p rsd-bench --bin table1 >"$obs_tmp/table1.t4.out"
 diff "$obs_tmp/table1.t1.out" "$obs_tmp/table1.t4.out" \
     || { echo "table1 stdout differs across thread counts"; exit 1; }
+
+echo "==> streaming vs batch equivalence (smoke scale, byte diff)"
+RSD_SCALE=smoke RSD_BUILD_MODE=batch RSD_BUILD_OUT="$obs_tmp/batch.jsonl" \
+    cargo run --release -q -p rsd-bench --bin build_dataset
+RSD_SCALE=smoke RSD_BUILD_MODE=stream RSD_CHECKPOINT_DIR=none \
+    RSD_SHARD_USERS=512 RSD_BUILD_OUT="$obs_tmp/stream.jsonl" \
+    cargo run --release -q -p rsd-bench --bin build_dataset
+cmp "$obs_tmp/batch.jsonl" "$obs_tmp/stream.jsonl" \
+    || { echo "streaming output differs from batch"; exit 1; }
+RSD_SCALE=smoke RSD_BUILD_MODE=stream RSD_CHECKPOINT_DIR=none RSD_THREADS=1 \
+    RSD_SHARD_USERS=512 RSD_BUILD_OUT="$obs_tmp/stream.t1.jsonl" \
+    cargo run --release -q -p rsd-bench --bin build_dataset
+cmp "$obs_tmp/batch.jsonl" "$obs_tmp/stream.t1.jsonl" \
+    || { echo "streaming output differs from batch under RSD_THREADS=1"; exit 1; }
+
+echo "==> checkpoint resume smoke (kill after 2 shards, then resume)"
+resume_status=0
+RSD_SCALE=smoke RSD_BUILD_MODE=stream RSD_CHECKPOINT_DIR="$obs_tmp/ckpt" \
+    RSD_SHARD_USERS=512 RSD_INTERRUPT_AFTER_SHARDS=2 \
+    RSD_BUILD_OUT="$obs_tmp/killed.jsonl" \
+    cargo run --release -q -p rsd-bench --bin build_dataset || resume_status=$?
+[ "$resume_status" -eq 9 ] \
+    || { echo "interrupted build should exit 9, got $resume_status"; exit 1; }
+RSD_SCALE=smoke RSD_BUILD_MODE=stream RSD_CHECKPOINT_DIR="$obs_tmp/ckpt" \
+    RSD_SHARD_USERS=512 RSD_BUILD_OUT="$obs_tmp/resumed.jsonl" \
+    cargo run --release -q -p rsd-bench --bin build_dataset
+cmp "$obs_tmp/batch.jsonl" "$obs_tmp/resumed.jsonl" \
+    || { echo "resumed build differs from batch"; exit 1; }
+
+echo "==> mid-scale golden equivalence (release, ignored test)"
+cargo test --release -q --test streaming_equivalence -- --ignored
 
 echo "CI gate passed."

@@ -56,9 +56,13 @@ fn ndjson_sink_and_run_report_round_trip() {
     for expected in [
         "bench.prepare",
         "dataset.build",
-        "dataset.build.crawl",
-        "corpus.generate",
-        "textproc.pipeline",
+        "dataset.build.streaming",
+        "pipeline.shards",
+        "pipeline.shard.corpus",
+        "pipeline.shard.preprocess",
+        "pipeline.merge",
+        "pipeline.select",
+        "pipeline.annotate",
         "annotation.campaign",
         "annotation.campaign.day",
     ] {
