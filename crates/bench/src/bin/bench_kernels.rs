@@ -261,7 +261,7 @@ fn main() {
 
     let report = serde_json::json!({
         "generated_by": "bench_kernels",
-        "host_cores": cores,
+        "meta": rsd_obs::run_meta(),
         "reps": REPS,
         "matmul": matmul,
         "gbdt": gbdt,

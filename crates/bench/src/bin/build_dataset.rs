@@ -20,9 +20,18 @@ use rsd_bench::{seed_from_env, Scale};
 use rsd_common::RsdError;
 use rsd_dataset::{io, DatasetBuilder, StreamingOptions};
 
+// The streaming build is the workload whose memory profile matters (its
+// whole point is bounded residency), so this binary hosts the counting
+// allocator. The timed table bins deliberately do not: a custom global
+// allocator suppresses rustc's allocation-elision optimizations, which
+// alone costs several percent of wall-clock even with counting dormant.
+#[global_allocator]
+static ALLOC: rsd_obs::alloc::CountingAlloc = rsd_obs::alloc::CountingAlloc::new();
+
 fn run() -> Result<ExitCode, RsdError> {
     let scale = Scale::from_env();
     let seed = seed_from_env();
+    let mut run = rsd_obs::RunReport::new("build_dataset", scale.name(), seed);
     let mode = std::env::var("RSD_BUILD_MODE").unwrap_or_else(|_| "stream".to_string());
     let builder = DatasetBuilder::new(scale.build_config(seed));
 
@@ -81,6 +90,14 @@ fn run() -> Result<ExitCode, RsdError> {
             io::to_jsonl(&dataset, stdout.lock())?;
         }
     }
+
+    run.set("mode", rsd_obs::Value::from(mode.as_str()))
+        .set("posts", rsd_obs::Value::Int(dataset.n_posts() as i128))
+        .set("users", rsd_obs::Value::Int(dataset.n_users() as i128));
+    rsd_obs::alloc::publish_gauges();
+    run.write_profile().map_err(RsdError::from)?;
+    run.write().map_err(RsdError::from)?;
+    rsd_obs::flush();
     Ok(ExitCode::SUCCESS)
 }
 

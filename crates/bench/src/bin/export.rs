@@ -57,6 +57,7 @@ fn main() {
     println!("  {jsonl}");
     println!("  {csv}");
     println!("  {meta}");
+    run.write_profile().expect("write folded profile");
     run.write().expect("write run report");
     rsd_obs::flush();
 }

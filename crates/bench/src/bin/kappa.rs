@@ -59,6 +59,7 @@ fn main() {
         .set("krippendorff_alpha", Value::Float(c.krippendorff_alpha))
         .set("adjudicated", Value::Int(c.adjudicated as i128))
         .set("days", Value::Int(c.days.len() as i128));
+    run.write_profile().expect("write folded profile");
     run.write().expect("write run report");
     rsd_obs::flush();
 }

@@ -1,0 +1,157 @@
+//! `obs_diff` — the perf/quality regression gate.
+//!
+//! Compares two RunReport / BENCH JSON artifacts with per-metric
+//! tolerances (see `rsd_obs::diff` for the classification rules):
+//!
+//! ```text
+//! obs_diff [FLAGS] baseline.json candidate.json
+//! obs_diff --self-test [FLAGS] report.json
+//! ```
+//!
+//! Flags: `--time-tol F` (default 0.15), `--mem-tol F` (default 0.30),
+//! `--min-time-ms F` (default 50), `--ignore-time`, `--verbose`.
+//!
+//! Exit codes: 0 — no regression; 1 — regression (or, under
+//! `--self-test`, the injected regressions failed to trip the gate);
+//! 2 — usage or I/O error.
+//!
+//! `--self-test` loads one report, injects a 2x slowdown on the first
+//! eligible time leaf plus a drift on the first quality leaf, and
+//! verifies the gate trips on the perturbed copy while passing on the
+//! identity diff — CI runs it to prove the gate itself works.
+
+use rsd_obs::diff::{diff_reports, inject_regressions, Class, Tolerances};
+use rsd_obs::Value;
+
+struct Args {
+    tol: Tolerances,
+    self_test: bool,
+    verbose: bool,
+    paths: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: obs_diff [--time-tol F] [--mem-tol F] [--min-time-ms F] \
+         [--ignore-time] [--verbose] baseline.json candidate.json\n\
+         \x20      obs_diff --self-test [flags] report.json"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        tol: Tolerances::default(),
+        self_test: false,
+        verbose: false,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let float_flag = |it: &mut dyn Iterator<Item = String>| -> f64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--time-tol" => args.tol.time_ratio = float_flag(&mut it),
+            "--mem-tol" => args.tol.mem_ratio = float_flag(&mut it),
+            "--min-time-ms" => args.tol.min_time_ms = float_flag(&mut it),
+            "--ignore-time" => args.tol.check_time = false,
+            "--self-test" => args.self_test = true,
+            "--verbose" | "-v" => args.verbose = true,
+            "--help" | "-h" => usage(),
+            p if !p.starts_with('-') => args.paths.push(p.to_string()),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("obs_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("obs_diff: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn print_findings(result: &rsd_obs::diff::DiffResult, verbose: bool) {
+    for f in &result.findings {
+        if f.regression {
+            println!("REGRESSION [{:?}] {}: {}", f.class, f.path, f.detail);
+        } else if verbose {
+            println!("note       [{:?}] {}: {}", f.class, f.path, f.detail);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.self_test {
+        let [path] = args.paths.as_slice() else {
+            usage()
+        };
+        let report = load(path);
+
+        let identity = diff_reports(&report, &report, &args.tol);
+        if identity.regressed() {
+            println!("self-test FAILED: identity diff regressed");
+            print_findings(&identity, true);
+            std::process::exit(1);
+        }
+
+        let (injected, what) = inject_regressions(&report, &args.tol);
+        let d = diff_reports(&report, &injected, &args.tol);
+        let time_ok = !args.tol.check_time
+            || what.time_path.is_none()
+            || d.findings
+                .iter()
+                .any(|f| f.regression && f.class == Class::Time);
+        let quality_ok = what.quality_path.is_none()
+            || d.findings
+                .iter()
+                .any(|f| f.regression && f.class == Class::Quality);
+        if what.time_path.is_none() && what.quality_path.is_none() {
+            println!("self-test FAILED: no injectable leaves found in {path}");
+            std::process::exit(1);
+        }
+        if !(time_ok && quality_ok) {
+            println!(
+                "self-test FAILED: injected regressions did not trip (time on {:?}: {}, quality on {:?}: {})",
+                what.time_path, time_ok, what.quality_path, quality_ok
+            );
+            print_findings(&d, true);
+            std::process::exit(1);
+        }
+        println!(
+            "self-test ok: identity diff clean ({} leaves); injected regressions tripped (time: {:?}, quality: {:?})",
+            identity.compared, what.time_path, what.quality_path
+        );
+        return;
+    }
+
+    let [baseline, candidate] = args.paths.as_slice() else {
+        usage()
+    };
+    let base = load(baseline);
+    let cand = load(candidate);
+    let result = diff_reports(&base, &cand, &args.tol);
+    print_findings(&result, args.verbose);
+    let regressions = result.findings.iter().filter(|f| f.regression).count();
+    if regressions > 0 {
+        println!(
+            "obs_diff: {regressions} regression(s) across {} compared leaves ({} vs {})",
+            result.compared, baseline, candidate
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "obs_diff: ok — {} leaves compared, no regressions ({} vs {})",
+        result.compared, baseline, candidate
+    );
+}

@@ -30,6 +30,7 @@ fn main() {
 
     run.set("posts", Value::Int(prepared.dataset.n_posts() as i128))
         .set("users", Value::Int(prepared.dataset.n_users() as i128));
+    run.write_profile().expect("write folded profile");
     run.write().expect("write run report");
     rsd_obs::flush();
 }

@@ -107,6 +107,7 @@ fn main() {
 
     run.set("selected", Value::from(selected.as_str()))
         .set("models", Value::Array(model_rows));
+    run.write_profile().expect("write folded profile");
     run.write().expect("write run report");
     rsd_obs::flush();
 }

@@ -499,10 +499,30 @@ fn fingerprint(cfg: &BuildConfig, shard_users: usize) -> u64 {
 
 /// Run the full streaming build. See the module docs for the stage graph
 /// and the equivalence argument.
+///
+/// On any error — including injected interrupts (exit 9 in the bench
+/// bin) — a `pipeline.aborted` event is emitted and the NDJSON sink is
+/// flushed, so a killed build still leaves a complete trace for
+/// post-mortem before the process exits.
 pub(crate) fn build_streaming(
     cfg: &BuildConfig,
     opts: &StreamingOptions,
 ) -> Result<StreamingBuild> {
+    let out = build_streaming_inner(cfg, opts);
+    match &out {
+        Ok(_) => rsd_obs::alloc::publish_gauges(),
+        Err(e) => {
+            rsd_obs::event(
+                "pipeline.aborted",
+                &[("error", rsd_obs::Value::String(e.to_string()))],
+            );
+            rsd_obs::flush();
+        }
+    }
+    out
+}
+
+fn build_streaming_inner(cfg: &BuildConfig, opts: &StreamingOptions) -> Result<StreamingBuild> {
     let _span = rsd_obs::Span::enter("dataset.build.streaming");
     let generator = CorpusGenerator::new(cfg.corpus.clone())?;
     let n_users = u32::try_from(cfg.corpus.n_users)

@@ -121,6 +121,10 @@ impl Tree {
         // serially in `features` order with a strict `>`, which preserves
         // the serial tie-break (first feature, first bin wins).
         let parent_score = g_total * g_total / (h_total + cfg.lambda);
+        // Kernel span only under RSD_OBS_PROFILE: this runs once per tree
+        // node, which would swamp ordinary telemetry.
+        let _split_span =
+            rsd_obs::profile_enabled().then(|| rsd_obs::Span::enter("gbdt.split_search"));
         let mut candidates: Vec<Option<(f32, u16)>> = vec![None; features.len()];
         // Enough features per chunk to amortize dispatch on shallow nodes;
         // a pure function of node size, never of thread count.

@@ -160,6 +160,10 @@ pub fn train_classifier(
         let epoch_seed = rng.gen::<u64>();
         let mut done = 0usize;
         for batch in order.chunks(cfg.batch.max(1)) {
+            // Per-batch spans only under RSD_OBS_PROFILE: thousands of
+            // batches would otherwise dominate the telemetry stream.
+            let _batch_span = (telemetry && rsd_obs::profile_enabled())
+                .then(|| rsd_obs::Span::enter("models.train.batch"));
             let mut results: Vec<Option<(Tape, f32)>> = (0..batch.len()).map(|_| None).collect();
             let store_ref: &ParamStore = store;
             let base = done;

@@ -1,29 +1,43 @@
 //! `rsd-obs` — workspace-wide telemetry for the RSD-15K reproduction.
 //!
-//! Three pieces, all opt-in at runtime:
+//! Five pieces, all opt-in at runtime:
 //!
 //! - a global thread-safe [`Registry`] (counters, gauges, log-bucket
-//!   histograms with p50/p90/p99, per-label span aggregates);
+//!   histograms with p50/p90/p99, per-label span aggregates, and a
+//!   hierarchical span **tree** keyed by collapsed-stack paths);
 //! - RAII [`Span`] timers (`Span::enter("annotation.campaign.day")`)
-//!   that fold wall-clock, call counts, and nesting depth into the
-//!   registry and stream NDJSON records to the active sink;
+//!   that maintain a per-thread stack and fold wall-clock, self-time,
+//!   nesting depth, and allocation deltas into the registry, streaming
+//!   NDJSON records to the active sink;
+//! - an opt-in counting allocator ([`alloc::CountingAlloc`]) feeding
+//!   bytes-allocated/peak-live gauges and per-span memory attribution;
 //! - [`RunReport`], the final JSON artifact bench binaries write to
-//!   `bench_runs/<scale>/<bin>.report.json`.
+//!   `bench_runs/<scale>/<bin>.report.json` (plus a
+//!   flamegraph-compatible `<bin>.folded` profile under
+//!   `RSD_OBS_PROFILE=1`);
+//! - a report differ ([`diff`]) behind the `obs_diff` bench bin that
+//!   gates CI on time/memory/quality regressions between runs.
 //!
-//! Selection happens through the `RSD_OBS` environment variable:
-//! `off`/unset (default — every entry point is a single atomic load and
-//! branch, no allocation or lock), `stderr`, or a file path that
-//! receives the NDJSON stream. Telemetry never writes to stdout, so
-//! table output stays byte-identical whether or not it is enabled.
+//! Selection happens through two environment variables: `RSD_OBS`
+//! (`off`/unset default — every entry point is a single atomic load and
+//! branch, no allocation or lock; `stderr`; or a file path receiving the
+//! NDJSON stream) and `RSD_OBS_PROFILE=1`, which turns the registry on
+//! even without a sink so span trees and folded profiles can be captured
+//! with no NDJSON cost. Telemetry never writes to stdout, so table
+//! output stays byte-identical whether or not it is enabled.
 
+pub mod alloc;
+pub mod diff;
 mod registry;
 mod report;
 mod sink;
 mod span;
+mod tree;
 
-pub use registry::{Histogram, Registry, SpanStat};
-pub use report::RunReport;
-pub use span::Span;
+pub use registry::{Histogram, Registry, SpanStat, TreeStat};
+pub use report::{run_meta, RunReport};
+pub use span::{current_context, with_context, Span, SpanContext};
+pub use tree::{parse_folded, render_folded};
 
 /// Re-exported so instrumented crates can build tagged records without
 /// depending on `serde_json` themselves.
@@ -51,11 +65,33 @@ struct Global {
 
 static GLOBAL: OnceLock<Global> = OnceLock::new();
 
+/// Human-readable description of the mode that actually won
+/// initialization (explicit [`init`] calls can differ from the
+/// environment), surfaced as `meta.obs_mode` in run reports.
+static MODE_DESC: OnceLock<String> = OnceLock::new();
+
+/// The latched mode as a string: `off`, `silent`, `stderr`, or
+/// `file:<path>`. Resolves from the environment if nothing initialized
+/// telemetry yet.
+pub fn mode_desc() -> String {
+    if FLAG.load(Ordering::Acquire) == FLAG_UNKNOWN {
+        enabled();
+    }
+    MODE_DESC
+        .get()
+        .cloned()
+        .unwrap_or_else(|| "off".to_string())
+}
+
 /// Sink destination requested at init time.
 #[derive(Debug, Clone)]
 pub enum Mode {
     /// Registry off, sink off — the zero-overhead default.
     Off,
+    /// Registry on, sink off: spans/counters/trees aggregate in memory
+    /// (for folded profiles and report metrics) without any NDJSON
+    /// stream. Selected when `RSD_OBS_PROFILE=1` but `RSD_OBS` is off.
+    Silent,
     /// NDJSON records to stderr.
     Stderr,
     /// NDJSON records appended to a file (created/truncated at init).
@@ -63,16 +99,37 @@ pub enum Mode {
 }
 
 impl Mode {
-    /// Parse the `RSD_OBS` convention: `off`/empty → [`Mode::Off`],
+    /// Parse the `RSD_OBS` convention: `off`/empty → [`Mode::Off`]
+    /// (or [`Mode::Silent`] when `RSD_OBS_PROFILE` asks for profiling),
     /// `stderr` → [`Mode::Stderr`], anything else is a file path.
     pub fn from_env() -> Mode {
         match std::env::var("RSD_OBS") {
-            Err(_) => Mode::Off,
-            Ok(v) if v.is_empty() || v == "off" || v == "0" => Mode::Off,
+            Err(_) => Mode::off_or_silent(),
+            Ok(v) if v.is_empty() || v == "off" || v == "0" => Mode::off_or_silent(),
             Ok(v) if v == "stderr" => Mode::Stderr,
             Ok(path) => Mode::File(PathBuf::from(path)),
         }
     }
+
+    fn off_or_silent() -> Mode {
+        if profile_enabled() {
+            Mode::Silent
+        } else {
+            Mode::Off
+        }
+    }
+}
+
+/// Whether `RSD_OBS_PROFILE` requests profiling (truthy values: anything
+/// but unset/empty/`0`/`off`). Resolved once; kernel-level spans in hot
+/// loops check this so their overhead exists only in profiling runs.
+pub fn profile_enabled() -> bool {
+    static PROFILE: OnceLock<bool> = OnceLock::new();
+    *PROFILE.get_or_init(|| {
+        std::env::var("RSD_OBS_PROFILE")
+            .map(|v| !(v.is_empty() || v == "0" || v == "off"))
+            .unwrap_or(false)
+    })
 }
 
 fn global() -> &'static Global {
@@ -91,34 +148,41 @@ pub fn init(mode: Mode) -> bool {
         return enabled();
     }
     let g = global();
-    let flag = {
+    let (flag, desc) = {
         let mut sink = g.sink.lock();
         // Respect a sink some racing initializer installed first.
         if sink.is_active() {
-            FLAG_ON
+            (FLAG_ON, "on".to_string())
         } else {
             match mode {
-                Mode::Off => FLAG_OFF,
+                Mode::Off => (FLAG_OFF, "off".to_string()),
+                // Registry on, sink stays Sink::Off: spans aggregate but
+                // nothing streams.
+                Mode::Silent => (FLAG_ON, "silent".to_string()),
                 Mode::Stderr => {
                     *sink = Sink::Stderr;
-                    FLAG_ON
+                    (FLAG_ON, "stderr".to_string())
                 }
                 Mode::File(path) => match std::fs::File::create(&path) {
                     Ok(f) => {
                         *sink = Sink::File(std::io::BufWriter::new(f));
-                        FLAG_ON
+                        (FLAG_ON, format!("file:{}", path.display()))
                     }
                     Err(e) => {
                         eprintln!(
                             "rsd-obs: cannot open RSD_OBS sink {}: {e}; telemetry disabled",
                             path.display()
                         );
-                        FLAG_OFF
+                        (FLAG_OFF, "off".to_string())
                     }
                 },
             }
         }
     };
+    let _ = MODE_DESC.set(desc);
+    // Arm allocation counting together with the rest of telemetry, so an
+    // installed CountingAlloc stays free when RSD_OBS is off.
+    alloc::set_counting(flag == FLAG_ON);
     FLAG.store(flag, Ordering::Release);
     flag == FLAG_ON
 }
@@ -219,18 +283,48 @@ pub fn event(label: &'static str, fields: &[(&'static str, Value)]) {
     emit_record("event", label, fields);
 }
 
+/// Measurement a dropping [`Span`] guard hands to the registry and sink.
+pub(crate) struct SpanRecord {
+    pub label: &'static str,
+    /// Innermost enclosing span label, if any (includes phantom context
+    /// frames installed by [`with_context`]).
+    pub parent: Option<&'static str>,
+    /// Full `;`-joined label stack, collapsed-stack style.
+    pub path: String,
+    pub elapsed: Duration,
+    /// Wall-clock not attributed to child spans.
+    pub self_ns: u64,
+    pub depth: u32,
+    /// Bytes allocated while the span was open (0 without a counting
+    /// allocator).
+    pub alloc_total: u64,
+    /// Allocation not attributed to child spans.
+    pub alloc_self: u64,
+}
+
 /// Called by [`Span`] guards on drop.
-pub(crate) fn finish_span(label: &'static str, elapsed: Duration, depth: u32) {
+pub(crate) fn finish_span(rec: SpanRecord) {
     let g = global();
-    g.registry.record_span(label, elapsed, depth);
-    emit_record(
-        "span",
-        label,
-        &[
-            ("ms", Value::Float(elapsed.as_secs_f64() * 1e3)),
-            ("depth", Value::Int(i128::from(depth))),
-        ],
+    g.registry.record_span(rec.label, rec.elapsed, rec.depth);
+    g.registry.record_tree(
+        &rec.path,
+        rec.elapsed.as_nanos() as u64,
+        rec.self_ns,
+        rec.alloc_total,
+        rec.alloc_self,
     );
+    let mut fields = vec![
+        ("ms", Value::Float(rec.elapsed.as_secs_f64() * 1e3)),
+        ("self_ms", Value::Float(rec.self_ns as f64 / 1e6)),
+        ("depth", Value::Int(i128::from(rec.depth))),
+    ];
+    if let Some(parent) = rec.parent {
+        fields.push(("parent", Value::String(parent.to_string())));
+    }
+    if alloc::active() {
+        fields.push(("alloc_bytes", Value::Int(i128::from(rec.alloc_total))));
+    }
+    emit_record("span", rec.label, &fields);
 }
 
 /// Snapshot the global registry as JSON.
@@ -401,6 +495,105 @@ mod tests {
             assert_eq!(stat.count, 1);
             assert_eq!(stat.max_depth, 0);
         }
+    }
+
+    #[test]
+    fn span_tree_attributes_self_and_child_time() {
+        capture(|| {
+            {
+                let _outer = Span::enter("tree.outer");
+                for _ in 0..2 {
+                    let _inner = Span::enter("tree.inner");
+                    std::hint::black_box((0..20_000).sum::<u64>());
+                }
+                std::hint::black_box((0..20_000).sum::<u64>());
+            }
+            let outer = registry().tree_stat("tree.outer").expect("outer path");
+            let inner = registry()
+                .tree_stat("tree.outer;tree.inner")
+                .expect("inner path keyed under parent");
+            assert_eq!(outer.count, 1);
+            assert_eq!(inner.count, 2);
+            // Self-time excludes children: outer.self + inner.total
+            // reassembles outer.total (inner spans are the only children).
+            assert!(outer.self_ns <= outer.total_ns);
+            let reassembled = outer.self_ns + inner.total_ns;
+            let drift = reassembled.abs_diff(outer.total_ns);
+            assert!(
+                drift < outer.total_ns / 2 + 1_000_000,
+                "self+child ({reassembled}) should approximate total ({})",
+                outer.total_ns
+            );
+            // The same label at top level would be a different path.
+            assert!(registry().tree_stat("tree.inner").is_none());
+        });
+    }
+
+    #[test]
+    fn span_record_carries_parent_and_self_ms() {
+        let events = capture(|| {
+            let _a = Span::enter("edge.parent");
+            let _b = Span::enter("edge.child");
+        });
+        let child = events
+            .iter()
+            .find(|e| e["label"] == "edge.child")
+            .expect("child span record");
+        assert_eq!(child["parent"], "edge.parent");
+        assert!(child["self_ms"].as_f64().unwrap() <= child["ms"].as_f64().unwrap() + 1e-9);
+        let parent = events
+            .iter()
+            .find(|e| e["label"] == "edge.parent")
+            .expect("parent span record");
+        assert!(parent["parent"].is_null());
+    }
+
+    #[test]
+    fn panicking_span_unwinds_stack_cleanly() {
+        capture(|| {
+            let result = std::panic::catch_unwind(|| {
+                let _outer = Span::enter("panic.outer");
+                let _inner = Span::enter("panic.inner");
+                panic!("stage exploded");
+            });
+            assert!(result.is_err());
+            // Both guards dropped during unwinding, so a fresh span sits
+            // at depth 0 with an unprefixed tree path.
+            let after = Span::enter("panic.after");
+            assert_eq!(after.depth(), Some(0));
+            drop(after);
+            assert!(registry().tree_stat("panic.after").is_some());
+            assert!(registry().tree_stat("panic.outer;panic.inner").is_some());
+        });
+    }
+
+    #[test]
+    fn context_propagation_parents_cross_thread_spans() {
+        capture(|| {
+            let ctx = {
+                let _submit = Span::enter("ctx.submit");
+                current_context()
+            };
+            assert!(!ctx.is_empty());
+            // Simulate a pool worker replaying the submitter's stack.
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    with_context(&ctx, || {
+                        let worker = Span::enter("ctx.work");
+                        assert_eq!(worker.depth(), Some(1));
+                    });
+                    // Phantom frames are gone after the scope.
+                    let free = Span::enter("ctx.free");
+                    assert_eq!(free.depth(), Some(0));
+                })
+                .join()
+                .unwrap();
+            });
+            assert!(registry().tree_stat("ctx.submit;ctx.work").is_some());
+            // Phantom frames record no timing of their own: only the real
+            // submit span contributed to that path.
+            assert_eq!(registry().tree_stat("ctx.submit").unwrap().count, 1);
+        });
     }
 
     #[test]

@@ -143,12 +143,53 @@ impl SpanStat {
     }
 }
 
+/// Aggregate over all completed spans sharing one call-tree *path*
+/// (the `;`-joined label stack, collapsed-stack convention). Unlike the
+/// flat [`SpanStat`], a label appearing under two different parents gets
+/// two tree entries, which is what makes self-vs-child attribution and
+/// flamegraph export possible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeStat {
+    /// Completed span count at this path.
+    pub count: u64,
+    /// Total wall-clock across spans at this path.
+    pub total_ns: u128,
+    /// Wall-clock not attributed to child spans.
+    pub self_ns: u128,
+    /// Longest single span.
+    pub max_ns: u128,
+    /// Bytes allocated while spans at this path were open (0 without a
+    /// counting allocator).
+    pub alloc_bytes: u64,
+    /// Allocation not attributed to child spans.
+    pub self_alloc_bytes: u64,
+}
+
+impl TreeStat {
+    fn summary(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("count", Value::Int(self.count as i128));
+        m.insert("total_ms", Value::Float(self.total_ns as f64 / 1e6));
+        m.insert("self_ms", Value::Float(self.self_ns as f64 / 1e6));
+        m.insert("max_ms", Value::Float(self.max_ns as f64 / 1e6));
+        if self.alloc_bytes > 0 {
+            m.insert("alloc_bytes", Value::Int(i128::from(self.alloc_bytes)));
+            m.insert(
+                "self_alloc_bytes",
+                Value::Int(i128::from(self.self_alloc_bytes)),
+            );
+        }
+        Value::Object(m)
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     histograms: BTreeMap<&'static str, Histogram>,
     spans: BTreeMap<&'static str, SpanStat>,
+    tree: BTreeMap<String, TreeStat>,
 }
 
 /// Thread-safe metric store. One global instance lives behind
@@ -215,6 +256,45 @@ impl Registry {
         self.inner.lock().spans.get(label).copied()
     }
 
+    /// Fold one completed span into the call-tree aggregate for its
+    /// full stack path.
+    pub fn record_tree(
+        &self,
+        path: &str,
+        total_ns: u64,
+        self_ns: u64,
+        alloc_bytes: u64,
+        self_alloc_bytes: u64,
+    ) {
+        let mut inner = self.inner.lock();
+        // Avoid allocating the owned key on the hot repeat-visit path.
+        if !inner.tree.contains_key(path) {
+            inner.tree.insert(path.to_string(), TreeStat::default());
+        }
+        let stat = inner.tree.get_mut(path).expect("just inserted");
+        stat.count += 1;
+        stat.total_ns += u128::from(total_ns);
+        stat.self_ns += u128::from(self_ns);
+        stat.max_ns = stat.max_ns.max(u128::from(total_ns));
+        stat.alloc_bytes += alloc_bytes;
+        stat.self_alloc_bytes += self_alloc_bytes;
+    }
+
+    /// Read one call-tree aggregate by its `;`-joined path.
+    pub fn tree_stat(&self, path: &str) -> Option<TreeStat> {
+        self.inner.lock().tree.get(path).copied()
+    }
+
+    /// Snapshot the whole call tree, sorted by path.
+    pub fn tree(&self) -> Vec<(String, TreeStat)> {
+        self.inner
+            .lock()
+            .tree
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
     /// Dump everything as one JSON object with `counters` / `gauges` /
     /// `histograms` / `spans` sections.
     pub fn snapshot(&self) -> Value {
@@ -235,11 +315,16 @@ impl Registry {
         for (k, s) in &inner.spans {
             spans.insert(*k, s.summary());
         }
+        let mut tree = Map::new();
+        for (k, s) in &inner.tree {
+            tree.insert(k.as_str(), s.summary());
+        }
         let mut out = Map::new();
         out.insert("counters", Value::Object(counters));
         out.insert("gauges", Value::Object(gauges));
         out.insert("histograms", Value::Object(histograms));
         out.insert("spans", Value::Object(spans));
+        out.insert("tree", Value::Object(tree));
         Value::Object(out)
     }
 

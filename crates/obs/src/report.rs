@@ -8,6 +8,59 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
 
+/// Effective thread budget: a local replica of `rsd-par`'s `RSD_THREADS`
+/// parse (absent/empty/`0`/unparsable → detected parallelism, capped at
+/// 64). Duplicated here because `rsd-par` depends on `rsd-obs`, so the
+/// report layer cannot call into the pool; the semantics are pinned by
+/// `rsd-par`'s `parse_threads` tests.
+fn effective_threads() -> usize {
+    let detected = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(64);
+    match std::env::var("RSD_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n.min(64),
+            _ => detected,
+        },
+        Err(_) => detected,
+    }
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside a
+/// repo / without git.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The environment block every report (and `BENCH_kernels.json`)
+/// embeds as `meta`: detected cores, the effective `RSD_THREADS`
+/// budget, git revision, and the telemetry/profiling switches.
+pub fn run_meta() -> Value {
+    let mut m = Map::new();
+    m.insert(
+        "host_cores",
+        Value::Int(
+            std::thread::available_parallelism()
+                .map(|n| n.get() as i128)
+                .unwrap_or(1),
+        ),
+    );
+    m.insert("rsd_threads", Value::Int(effective_threads() as i128));
+    m.insert("git_rev", Value::String(git_rev()));
+    m.insert("obs_mode", Value::String(crate::mode_desc()));
+    m.insert("profile", Value::Bool(crate::profile_enabled()));
+    Value::Object(m)
+}
+
 /// Builder for a run's summary artifact.
 #[derive(Debug)]
 pub struct RunReport {
@@ -51,6 +104,11 @@ impl RunReport {
         if !self.config.is_empty() {
             m.insert("config", Value::Object(self.config.clone()));
         }
+        m.insert("meta", run_meta());
+        let alloc = crate::alloc::snapshot();
+        if alloc != Value::Null {
+            m.insert("alloc", alloc);
+        }
         m.insert("metrics", crate::snapshot());
         Value::Object(m)
     }
@@ -71,6 +129,25 @@ impl RunReport {
         }
         let path = self.default_path();
         self.write_to(&path)?;
+        Ok(Some(path))
+    }
+
+    /// Default location for this run's collapsed-stack profile.
+    pub fn profile_path(&self) -> PathBuf {
+        PathBuf::from("bench_runs")
+            .join(&self.scale)
+            .join(format!("{}.folded", self.bin))
+    }
+
+    /// Write the global span tree as a folded profile at
+    /// [`RunReport::profile_path`] when `RSD_OBS_PROFILE` is on.
+    /// Returns the path when a profile was written.
+    pub fn write_profile(&self) -> std::io::Result<Option<PathBuf>> {
+        if !crate::profile_enabled() || !crate::enabled() {
+            return Ok(None);
+        }
+        let path = self.profile_path();
+        crate::tree::write_folded_to(&path)?;
         Ok(Some(path))
     }
 

@@ -1,0 +1,102 @@
+//! Collapsed-stack ("folded") profile export.
+//!
+//! The folded format is the interchange convention of `flamegraph.pl`
+//! and inferno: one line per unique call stack, frames joined by `;`,
+//! followed by a space and an integer sample count. We emit **self-time
+//! in microseconds** as the count, so `flamegraph.pl < x.folded`
+//! renders frame widths proportional to self-time and parent frames
+//! are widened by their children exactly as the tools expect.
+
+use crate::TreeStat;
+
+/// Render a call tree as folded lines (`path self_us\n`), sorted by
+/// path. Entries whose self-time rounds to zero microseconds are kept
+/// (count 0 lines are legal and preserve tree structure for parsers).
+pub fn render_folded(tree: &[(String, TreeStat)]) -> String {
+    let mut out = String::new();
+    for (path, stat) in tree {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&(stat.self_ns / 1_000).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse folded lines back into `(path, self_us)` pairs. Used by the
+/// round-trip test and `obs_diff`'s profile mode; tolerant of blank
+/// lines, strict about everything else.
+pub fn parse_folded(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (path, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no count separator: {line:?}", idx + 1))?;
+        if path.is_empty() {
+            return Err(format!("line {}: empty stack path", idx + 1));
+        }
+        let count: u64 = count
+            .parse()
+            .map_err(|e| format!("line {}: bad count {count:?}: {e}", idx + 1))?;
+        out.push((path.to_string(), count));
+    }
+    Ok(out)
+}
+
+/// Write the **global** registry's call tree as a folded profile at
+/// `path`. Returns the number of stack lines written.
+pub fn write_folded_to(path: &std::path::Path) -> std::io::Result<usize> {
+    let tree = crate::registry().tree();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, render_folded(&tree))?;
+    Ok(tree.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(self_ns: u128) -> TreeStat {
+        TreeStat {
+            count: 1,
+            total_ns: self_ns,
+            self_ns,
+            max_ns: self_ns,
+            alloc_bytes: 0,
+            self_alloc_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn folded_round_trips() {
+        let tree = vec![
+            ("a".to_string(), stat(5_000_000)),
+            ("a;b".to_string(), stat(1_500_000)),
+            ("a;b;leaf with space".to_string(), stat(999)),
+        ];
+        let text = render_folded(&tree);
+        let parsed = parse_folded(&text).unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                ("a".to_string(), 5_000),
+                ("a;b".to_string(), 1_500),
+                // 999 ns rounds down to 0 us but the stack line survives.
+                ("a;b;leaf with space".to_string(), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_folded("no-count-here").is_err());
+        assert!(parse_folded("path notanumber").is_err());
+        assert!(parse_folded(" 42").is_err());
+        assert!(parse_folded("ok 1\n\n  \nalso;ok 2\n").unwrap().len() == 2);
+    }
+}

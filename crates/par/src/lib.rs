@@ -23,7 +23,10 @@
 //! The pool emits a `par.pool_size` gauge at creation and counts
 //! dispatched chunks in the `par.tasks` counter; NDJSON records carry a
 //! `thread` field (see `rsd-obs`) so spans from pool workers are
-//! attributable.
+//! attributable. Each job also captures the submitting thread's span
+//! context and replays it on workers, so spans opened inside parallel
+//! chunks parent under the submitting span in the rsd-obs call tree
+//! instead of floating at top level.
 
 mod pool;
 
@@ -290,6 +293,28 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn worker_spans_parent_under_submitting_span() {
+        rsd_obs::capture(|| {
+            let pool = ThreadPool::new(4);
+            {
+                let _submit = rsd_obs::Span::enter("par.test.submit");
+                pool.run(64, &|_chunk| {
+                    let _s = rsd_obs::Span::enter("par.test.chunk");
+                    std::hint::black_box((0..5_000).sum::<u64>());
+                });
+            }
+            // Every chunk span — whether it ran on the submitter (real
+            // stack) or a worker (replayed context) — lands on the same
+            // tree path, and none float at top level.
+            let nested = rsd_obs::registry()
+                .tree_stat("par.test.submit;par.test.chunk")
+                .expect("chunk spans parent under the submitting span");
+            assert_eq!(nested.count, 64);
+            assert!(rsd_obs::registry().tree_stat("par.test.chunk").is_none());
+        });
     }
 
     #[test]

@@ -73,6 +73,11 @@ struct Job {
     done: Mutex<bool>,
     done_cv: Condvar,
     panicked: AtomicBool,
+    /// The submitting thread's open-span stack, replayed as phantom
+    /// frames around chunks that run on pool workers so their spans
+    /// parent under the submitting span in the rsd-obs call tree.
+    /// Empty when telemetry is off.
+    ctx: rsd_obs::SpanContext,
 }
 
 impl Job {
@@ -85,8 +90,17 @@ impl Job {
         self.next.load(Ordering::Relaxed) >= self.n_chunks
     }
 
-    fn run_chunk(&self, idx: usize) {
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.task.0)(idx)));
+    /// `apply_ctx` is true on worker threads only: the submitter's own
+    /// stack already holds the real spans, so replaying the context
+    /// there would double the path prefix.
+    fn run_chunk(&self, idx: usize, apply_ctx: bool) {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if apply_ctx && !self.ctx.is_empty() {
+                rsd_obs::with_context(&self.ctx, || (self.task.0)(idx));
+            } else {
+                (self.task.0)(idx);
+            }
+        }));
         if outcome.is_err() {
             self.panicked.store(true, Ordering::Release);
         }
@@ -177,14 +191,16 @@ impl ThreadPool {
             done: Mutex::new(false),
             done_cv: Condvar::new(),
             panicked: AtomicBool::new(false),
+            ctx: rsd_obs::current_context(),
         });
         lock(&self.shared.queue).push_back(Arc::clone(&job));
         self.shared.work_cv.notify_all();
         rsd_obs::counter_add("par.tasks", n_chunks as u64);
 
-        // The submitter works too.
+        // The submitter works too (its own stack already carries the
+        // span context, so no replay here).
         while let Some(idx) = job.claim() {
-            job.run_chunk(idx);
+            job.run_chunk(idx, false);
         }
         let mut done = lock(&job.done);
         while !*done {
@@ -240,7 +256,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         while let Some(idx) = job.claim() {
-            job.run_chunk(idx);
+            job.run_chunk(idx, true);
         }
     }
 }

@@ -130,6 +130,8 @@ impl Checkpointer {
         let value = T::decode(&mut BufReader::new(file)).ok()?;
         self.hits.fetch_add(1, Ordering::Relaxed);
         rsd_obs::counter_add("pipeline.checkpoint.hits", 1);
+        rsd_obs::counter_add("pipeline.checkpoint.bytes_read", manifest.bytes);
+        emit_checkpoint_event("pipeline.checkpoint.hit", stage, shard, manifest.bytes);
         Some(value)
     }
 
@@ -167,8 +169,26 @@ impl Checkpointer {
         fs::rename(&mtmp, &mpath)?;
         self.writes.fetch_add(1, Ordering::Relaxed);
         rsd_obs::counter_add("pipeline.checkpoint.writes", 1);
+        rsd_obs::counter_add("pipeline.checkpoint.bytes_written", bytes);
+        emit_checkpoint_event("pipeline.checkpoint.write", stage, shard, bytes);
         Ok(())
     }
+}
+
+/// NDJSON record for one checkpoint I/O: which stage boundary, which
+/// shard (absent for global stages), and the artifact size.
+fn emit_checkpoint_event(label: &'static str, stage: &str, shard: Option<&ShardSpec>, bytes: u64) {
+    if !rsd_obs::enabled() {
+        return;
+    }
+    let mut fields = vec![
+        ("stage", rsd_obs::Value::String(stage.to_string())),
+        ("bytes", rsd_obs::Value::Int(i128::from(bytes))),
+    ];
+    if let Some(s) = shard {
+        fields.push(("shard", rsd_obs::Value::Int(s.index as i128)));
+    }
+    rsd_obs::event(label, &fields);
 }
 
 /// Stable fingerprint of a build-configuration description string

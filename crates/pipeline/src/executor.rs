@@ -108,8 +108,17 @@ where
 
     let mut folded = 0usize;
     let mut next = 0usize;
+    let mut wave_idx = 0usize;
     while next < total && folded < limit {
         let wave = in_flight.min(total - next).min(limit - folded);
+        rsd_obs::event(
+            "pipeline.wave",
+            &[
+                ("wave", rsd_obs::Value::Int(wave_idx as i128)),
+                ("first_shard", rsd_obs::Value::Int(next as i128)),
+                ("shards", rsd_obs::Value::Int(wave as i128)),
+            ],
+        );
         let mut slots: Vec<(ShardSpec, Option<Result<T::Out>>)> =
             (next..next + wave).map(|i| (plan.shard(i), None)).collect();
         // Grain 1: one pool chunk per shard. The fold below consumes
@@ -127,6 +136,7 @@ where
         }
         rsd_obs::counter_add("pipeline.shards", wave as u64);
         next += wave;
+        wave_idx += 1;
     }
 
     if folded < total {

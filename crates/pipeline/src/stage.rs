@@ -53,6 +53,27 @@ pub trait ShardTask: Sync {
     fn run(&self, shard: &ShardSpec, ckpt: Option<&Checkpointer>) -> Result<Self::Out>;
 }
 
+/// Tag the currently-open stage span with its shard: spans carry static
+/// labels (so trees aggregate across shards), while this companion
+/// NDJSON event pins each execution to a concrete shard and user range.
+fn shard_tag(stage: &'static str, shard: &ShardSpec) {
+    if !rsd_obs::enabled() {
+        return;
+    }
+    rsd_obs::event(
+        "pipeline.stage.shard",
+        &[
+            ("stage", rsd_obs::Value::String(stage.to_string())),
+            ("shard", rsd_obs::Value::Int(shard.index as i128)),
+            (
+                "start_user",
+                rsd_obs::Value::Int(i128::from(shard.start_user)),
+            ),
+            ("users", rsd_obs::Value::Int(shard.n_users() as i128)),
+        ],
+    );
+}
+
 /// Adapts a [`Source`] into the head of a [`ShardTask`] chain.
 pub struct SourceTask<S>(pub S);
 
@@ -61,6 +82,7 @@ impl<S: Source> ShardTask for SourceTask<S> {
 
     fn run(&self, shard: &ShardSpec, _ckpt: Option<&Checkpointer>) -> Result<Self::Out> {
         let _span = rsd_obs::Span::enter(self.0.name());
+        shard_tag(self.0.name(), shard);
         self.0.load(shard)
     }
 }
@@ -81,6 +103,7 @@ where
     fn run(&self, shard: &ShardSpec, ckpt: Option<&Checkpointer>) -> Result<Self::Out> {
         let input = self.task.run(shard, ckpt)?;
         let _span = rsd_obs::Span::enter(self.stage.name());
+        shard_tag(self.stage.name(), shard);
         self.stage.apply(shard, input)
     }
 }

@@ -29,6 +29,23 @@ RSD_SCALE=smoke RSD_OBS="$obs_tmp/table1.ndjson" \
 test -s "$obs_tmp/table1.ndjson" || { echo "NDJSON sink empty"; exit 1; }
 test -s bench_runs/small/table1.report.json || { echo "run report missing"; exit 1; }
 
+echo "==> obs_diff regression gate (fresh smoke report vs committed baseline)"
+# Time tolerance is overridable for noisy hosts; quality metrics (kappa,
+# accuracy, counts) always compare exactly / to 1e-6.
+cargo run --release -q -p rsd-bench --bin obs_diff -- \
+    --time-tol "${OBS_DIFF_TIME_TOL:-0.15}" \
+    bench_runs/baseline/table1.report.json bench_runs/small/table1.report.json
+
+echo "==> obs_diff self-test (injected regressions must trip the gate)"
+cargo run --release -q -p rsd-bench --bin obs_diff -- --self-test \
+    bench_runs/baseline/table1.report.json
+
+echo "==> profiling smoke (RSD_OBS_PROFILE=1 emits a folded profile)"
+rm -f bench_runs/small/table1.folded
+RSD_SCALE=smoke RSD_OBS_PROFILE=1 \
+    cargo run --release -q -p rsd-bench --bin table1 >/dev/null
+test -s bench_runs/small/table1.folded || { echo "folded profile missing/empty"; exit 1; }
+
 echo "==> thread-count determinism (table1 stdout, RSD_THREADS=1 vs 4)"
 RSD_SCALE=smoke RSD_THREADS=1 \
     cargo run --release -q -p rsd-bench --bin table1 >"$obs_tmp/table1.t1.out"

@@ -1,0 +1,73 @@
+//! Allocation-tracking proof of the streaming pipeline's bounded-memory
+//! claim: with the counting allocator installed, the streaming build's
+//! peak live bytes must come in under the batch build's for the same
+//! config. Lives in its own test binary because `#[global_allocator]`
+//! is process-wide and the telemetry mode latches on first use.
+
+use rsd15k::obs;
+use rsd_dataset::{BuildConfig, DatasetBuilder, StreamingOptions};
+use rsd_pipeline::PipelineConfig;
+
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc::new();
+
+#[test]
+fn streaming_build_peaks_below_batch() {
+    // Registry on, no NDJSON sink — we only want gauges. Counting arms
+    // at init; the probe allocation below is the first one observed.
+    assert!(obs::init(obs::Mode::Silent));
+    std::hint::black_box(vec![0u8; 4096]);
+    assert!(obs::alloc::active(), "counting allocator not installed");
+
+    let cfg = BuildConfig::scaled(2026, 8_000, 96);
+    let builder = DatasetBuilder::new(cfg);
+
+    let base = obs::alloc::live_bytes();
+    obs::alloc::reset_peak();
+    let batch_posts = {
+        let (dataset, _pool, _report) = builder.build_batch_with_pool().unwrap();
+        dataset.n_posts()
+    };
+    let batch_peak = obs::alloc::peak_live_bytes().saturating_sub(base);
+    assert!(batch_peak > 0, "allocator saw no batch-build traffic");
+
+    // Small shards, two in flight: the streaming working set is a wave,
+    // not the whole raw corpus.
+    let opts = StreamingOptions {
+        pipeline: PipelineConfig {
+            shard_users: 16,
+            shards_in_flight: 2,
+            interrupt_after_shards: None,
+        },
+        checkpoint_dir: None,
+        interrupt_after_stage: None,
+    };
+    let base = obs::alloc::live_bytes();
+    obs::alloc::reset_peak();
+    let stream_posts = {
+        let out = builder.build_streaming(&opts).unwrap();
+        out.dataset.n_posts()
+    };
+    let stream_peak = obs::alloc::peak_live_bytes().saturating_sub(base);
+
+    assert_eq!(batch_posts, stream_posts, "builds diverged");
+    assert!(
+        stream_peak < batch_peak,
+        "streaming peak {stream_peak} B not below batch peak {batch_peak} B"
+    );
+
+    // The successful streaming build published the allocator gauges.
+    let gauges = &obs::snapshot()["gauges"];
+    for key in [
+        "alloc.allocated_bytes",
+        "alloc.live_bytes",
+        "alloc.peak_live_bytes",
+        "alloc.allocations",
+    ] {
+        assert!(
+            gauges[key].as_f64().is_some(),
+            "missing allocator gauge {key}: {gauges}"
+        );
+    }
+    assert!(gauges["alloc.peak_live_bytes"].as_f64().unwrap() > 0.0);
+}

@@ -1,0 +1,85 @@
+//! Kill-and-resume telemetry harness: a streaming build that dies from
+//! an injected interrupt must still leave a *complete* NDJSON trace —
+//! the abort path flushes the sink before the error propagates, so no
+//! buffered records are lost. Own test binary because the sink mode
+//! latches process-wide.
+
+use rsd15k::obs;
+use rsd_dataset::{BuildConfig, DatasetBuilder, StreamingOptions};
+use rsd_pipeline::PipelineConfig;
+
+fn opts(dir: &std::path::Path) -> StreamingOptions {
+    StreamingOptions {
+        pipeline: PipelineConfig {
+            shard_users: 8,
+            shards_in_flight: 2,
+            interrupt_after_shards: None,
+        },
+        checkpoint_dir: Some(dir.join("ckpt")),
+        interrupt_after_stage: None,
+    }
+}
+
+#[test]
+fn interrupted_build_flushes_a_complete_trace() {
+    let dir = std::env::temp_dir().join(format!("rsd_interrupt_trace_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let ndjson = dir.join("trace.ndjson");
+    assert!(obs::init(obs::Mode::File(ndjson.clone())));
+
+    let builder = DatasetBuilder::new(BuildConfig::scaled(5, 2_500, 48));
+    let mut killed = opts(&dir);
+    killed.pipeline.interrupt_after_shards = Some(2);
+    let err = builder.build_streaming(&killed).unwrap_err();
+    assert!(err.to_string().contains("interrupted"), "{err}");
+
+    // Deliberately no obs::flush() here: the abort path inside
+    // build_streaming must have flushed for the trace to be complete.
+    let raw = std::fs::read_to_string(&ndjson).unwrap();
+    assert!(!raw.is_empty(), "interrupted build left an empty trace");
+    let records: Vec<obs::Value> = raw
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("truncated or malformed NDJSON line"))
+        .collect();
+    let aborted = records
+        .iter()
+        .find(|r| r["kind"] == "event" && r["label"] == "pipeline.aborted")
+        .expect("no pipeline.aborted event in trace");
+    assert!(
+        aborted["error"].as_str().unwrap().contains("interrupted"),
+        "aborted event lacks the interrupt cause: {aborted}"
+    );
+    // Work that completed before the kill is in the trace: shard tags
+    // from the two folded shards and at least one checkpoint write.
+    assert!(
+        records.iter().any(|r| r["label"] == "pipeline.stage.shard"),
+        "no shard-tag events before the interrupt"
+    );
+    assert!(
+        records
+            .iter()
+            .any(|r| r["label"] == "pipeline.checkpoint.write"),
+        "no checkpoint writes recorded before the interrupt"
+    );
+
+    // The resume leg of the harness: same checkpoint dir, no interrupt —
+    // the build completes and replays the persisted shards.
+    let out = builder.build_streaming(&opts(&dir)).unwrap();
+    assert!(
+        out.pipeline.checkpoint_hits >= 2,
+        "resume replayed only {} checkpoints",
+        out.pipeline.checkpoint_hits
+    );
+    assert!(out.dataset.n_posts() > 0);
+    obs::flush();
+    let resumed = std::fs::read_to_string(&ndjson).unwrap();
+    assert!(
+        resumed
+            .lines()
+            .map(|l| serde_json::from_str::<obs::Value>(l).expect("malformed line after resume"))
+            .any(|r| r["label"] == "pipeline.checkpoint.hit"),
+        "resume recorded no checkpoint hits in the trace"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,6 +1,7 @@
 //! Facade-level telemetry smoke test: a tiny end-to-end dataset build with
-//! the NDJSON sink pointed at a temp file, then structural checks on both
-//! the event stream and the RunReport artifact.
+//! the NDJSON sink pointed at a temp file, then structural checks on the
+//! event stream, the RunReport artifact (meta block, span call-tree), and
+//! the collapsed-stack profile round-trip.
 //!
 //! Kept as a single `#[test]` because the telemetry mode latches on first
 //! use — one test owns the process-wide sink for this binary.
@@ -15,7 +16,10 @@ fn ndjson_sink_and_run_report_round_trip() {
     std::fs::create_dir_all(&dir).unwrap();
     let ndjson = dir.join("events.ndjson");
 
-    // Latch telemetry to the temp file before any instrumented code runs.
+    // Profiling on (latched on first read), sink to the temp file — both
+    // before any instrumented code runs.
+    std::env::set_var("RSD_OBS_PROFILE", "1");
+    assert!(obs::profile_enabled());
     assert!(obs::init(obs::Mode::File(ndjson.clone())));
     assert!(obs::enabled());
 
@@ -86,6 +90,47 @@ fn ndjson_sink_and_run_report_round_trip() {
     );
     let counters = &report["metrics"]["counters"];
     assert!(!matches!(counters["textproc.posts_in"], obs::Value::Null));
+
+    // The meta block pins the run's environment: core count, effective
+    // thread budget, git revision, telemetry switches.
+    let meta = &report["meta"];
+    assert!(meta["host_cores"].as_i64().unwrap() >= 1, "meta: {meta}");
+    assert!(meta["rsd_threads"].as_i64().unwrap() >= 1, "meta: {meta}");
+    assert!(!meta["git_rev"].as_str().unwrap().is_empty());
+    assert_eq!(meta["profile"], true);
+    assert!(meta["obs_mode"].as_str().unwrap().starts_with("file:"));
+
+    // The hierarchical call tree keys spans by their full stack path and
+    // attributes self-time separately from child time.
+    let tree = &report["metrics"]["tree"];
+    let build = &tree["bench.prepare;dataset.build"];
+    assert!(
+        !matches!(build, obs::Value::Null),
+        "tree missing bench.prepare;dataset.build: {tree}"
+    );
+    let total = build["total_ms"].as_f64().unwrap();
+    let self_ms = build["self_ms"].as_f64().unwrap();
+    assert!(
+        self_ms <= total + 1e-9,
+        "self_ms {self_ms} exceeds total_ms {total}"
+    );
+    assert!(!matches!(
+        tree["bench.prepare;dataset.build;dataset.build.streaming"],
+        obs::Value::Null
+    ));
+
+    // RSD_OBS_PROFILE=1 emits a non-empty folded profile that round-trips
+    // through the parser.
+    let folded_path = run.write_profile().unwrap().expect("profiling is on");
+    let folded = std::fs::read_to_string(&folded_path).unwrap();
+    assert!(!folded.is_empty(), "folded profile is empty");
+    let parsed = obs::parse_folded(&folded).unwrap();
+    assert_eq!(parsed.len(), obs::registry().tree().len());
+    assert!(parsed
+        .iter()
+        .any(|(path, _)| path == "bench.prepare;dataset.build"));
+    assert_eq!(obs::render_folded(&obs::registry().tree()), folded);
+    std::fs::remove_file(&folded_path).ok();
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -34,6 +34,13 @@ impl Map {
         self.get(key).is_some()
     }
 
+    /// Remove a key, returning its value if it was present. Preserves
+    /// the insertion order of the remaining entries.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
