@@ -16,7 +16,7 @@
 
 use std::process::ExitCode;
 
-use rsd_bench::{seed_from_env, Scale};
+use rsd_bench::{seed_from_env, Scale, Telemetry};
 use rsd_common::RsdError;
 use rsd_dataset::{io, DatasetBuilder, StreamingOptions};
 
@@ -32,6 +32,7 @@ fn run() -> Result<ExitCode, RsdError> {
     let scale = Scale::from_env();
     let seed = seed_from_env();
     let mut run = rsd_obs::RunReport::new("build_dataset", scale.name(), seed);
+    let mut telemetry = Telemetry::start("build_dataset", scale);
     let mode = std::env::var("RSD_BUILD_MODE").unwrap_or_else(|_| "stream".to_string());
     let builder = DatasetBuilder::new(scale.build_config(seed));
 
@@ -94,6 +95,7 @@ fn run() -> Result<ExitCode, RsdError> {
     run.set("mode", rsd_obs::Value::from(mode.as_str()))
         .set("posts", rsd_obs::Value::Int(dataset.n_posts() as i128))
         .set("users", rsd_obs::Value::Int(dataset.n_users() as i128));
+    telemetry.finish();
     rsd_obs::alloc::publish_gauges();
     run.write_profile().map_err(RsdError::from)?;
     run.write().map_err(RsdError::from)?;

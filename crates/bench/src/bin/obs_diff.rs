@@ -1,27 +1,42 @@
 //! `obs_diff` — the perf/quality regression gate.
 //!
-//! Compares two RunReport / BENCH JSON artifacts with per-metric
-//! tolerances (see `rsd_obs::diff` for the classification rules):
+//! Compares two RunReport / BENCH JSON artifacts (or `.series.ndjson`
+//! time-series files, summarized via
+//! `rsd_obs::timeseries::summarize_series`) with per-metric tolerances
+//! (see `rsd_obs::diff` for the classification rules):
 //!
 //! ```text
 //! obs_diff [FLAGS] baseline.json candidate.json
-//! obs_diff --self-test [FLAGS] report.json
+//! obs_diff --self-test [FLAGS] report.json|series.ndjson
 //! ```
 //!
 //! Flags: `--time-tol F` (default 0.15), `--mem-tol F` (default 0.30),
-//! `--min-time-ms F` (default 50), `--ignore-time`, `--verbose`.
+//! `--min-time-ms F` (default 50), `--quantile-tol Q F` (per-quantile
+//! ratio for Q in p50/p90/p99/p999; defaults 0.15/0.20/0.25/0.40),
+//! `--min-quantile-ms F` (default 1), `--ignore-time`, `--verbose`.
 //!
-//! Exit codes: 0 — no regression; 1 — regression (or, under
-//! `--self-test`, the injected regressions failed to trip the gate);
-//! 2 — usage or I/O error.
+//! Exit codes: 0 — no regression; 1 — `--self-test` failure (the
+//! injected regressions did not trip, or the identity diff regressed);
+//! 2 — usage or I/O error; 3 — time/quantile/throughput regression;
+//! 4 — memory regression; 5 — quality regression. When several classes
+//! regress at once the most severe wins: quality > memory > time.
+//! Every regression line names the offending path and both values.
 //!
-//! `--self-test` loads one report, injects a 2x slowdown on the first
-//! eligible time leaf plus a drift on the first quality leaf, and
+//! `--self-test` loads one artifact, injects a 2x slowdown on the first
+//! eligible time leaf, a drift on the first quality leaf, and an
+//! inflated tail quantile (p99/p999) where latency data exists, then
 //! verifies the gate trips on the perturbed copy while passing on the
 //! identity diff — CI runs it to prove the gate itself works.
 
 use rsd_obs::diff::{diff_reports, inject_regressions, Class, Tolerances};
 use rsd_obs::Value;
+
+/// Exit code for a wall-clock/quantile/throughput regression.
+const EXIT_TIME: i32 = 3;
+/// Exit code for a memory regression.
+const EXIT_MEMORY: i32 = 4;
+/// Exit code for a quality (replication-invariant) regression.
+const EXIT_QUALITY: i32 = 5;
 
 struct Args {
     tol: Tolerances,
@@ -33,8 +48,11 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: obs_diff [--time-tol F] [--mem-tol F] [--min-time-ms F] \
+         [--quantile-tol p50|p90|p99|p999 F] [--min-quantile-ms F] \
          [--ignore-time] [--verbose] baseline.json candidate.json\n\
-         \x20      obs_diff --self-test [flags] report.json"
+         \x20      obs_diff --self-test [flags] report.json|series.ndjson\n\
+         exit codes: 0 ok, 1 self-test failure, 2 usage/io, \
+         3 time, 4 memory, 5 quality"
     );
     std::process::exit(2);
 }
@@ -57,6 +75,17 @@ fn parse_args() -> Args {
             "--time-tol" => args.tol.time_ratio = float_flag(&mut it),
             "--mem-tol" => args.tol.mem_ratio = float_flag(&mut it),
             "--min-time-ms" => args.tol.min_time_ms = float_flag(&mut it),
+            "--min-quantile-ms" => args.tol.min_quantile_ms = float_flag(&mut it),
+            "--quantile-tol" => {
+                let idx = match it.next().as_deref() {
+                    Some("p50") => 0,
+                    Some("p90") => 1,
+                    Some("p99") => 2,
+                    Some("p999") => 3,
+                    _ => usage(),
+                };
+                args.tol.quantile_ratios[idx] = float_flag(&mut it);
+            }
             "--ignore-time" => args.tol.check_time = false,
             "--self-test" => args.self_test = true,
             "--verbose" | "-v" => args.verbose = true,
@@ -68,11 +97,19 @@ fn parse_args() -> Args {
     args
 }
 
+/// Load an artifact: `.ndjson` series files are summarized into a
+/// report-shaped object, everything else parses as plain JSON.
 fn load(path: &str) -> Value {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("obs_diff: cannot read {path}: {e}");
         std::process::exit(2);
     });
+    if path.ends_with(".ndjson") {
+        return rsd_obs::timeseries::summarize_series(&text).unwrap_or_else(|e| {
+            eprintln!("obs_diff: {path}: {e}");
+            std::process::exit(2);
+        });
+    }
     serde_json::from_str(&text).unwrap_or_else(|e| {
         eprintln!("obs_diff: {path} is not valid JSON: {e}");
         std::process::exit(2);
@@ -87,6 +124,22 @@ fn print_findings(result: &rsd_obs::diff::DiffResult, verbose: bool) {
             println!("note       [{:?}] {}: {}", f.class, f.path, f.detail);
         }
     }
+}
+
+/// Most severe exit code among the regressed classes:
+/// quality > memory > time-like.
+fn exit_code_for(result: &rsd_obs::diff::DiffResult) -> i32 {
+    let mut code = 0;
+    for f in result.findings.iter().filter(|f| f.regression) {
+        let class_code = match f.class {
+            Class::Quality => EXIT_QUALITY,
+            Class::Memory => EXIT_MEMORY,
+            Class::Time | Class::Quantile | Class::Speedup => EXIT_TIME,
+            Class::Skip | Class::Info => continue,
+        };
+        code = code.max(class_code);
+    }
+    code
 }
 
 fn main() {
@@ -107,30 +160,29 @@ fn main() {
 
         let (injected, what) = inject_regressions(&report, &args.tol);
         let d = diff_reports(&report, &injected, &args.tol);
-        let time_ok = !args.tol.check_time
-            || what.time_path.is_none()
-            || d.findings
-                .iter()
-                .any(|f| f.regression && f.class == Class::Time);
-        let quality_ok = what.quality_path.is_none()
-            || d.findings
-                .iter()
-                .any(|f| f.regression && f.class == Class::Quality);
-        if what.time_path.is_none() && what.quality_path.is_none() {
+        let tripped = |class: Class| d.findings.iter().any(|f| f.regression && f.class == class);
+        let time_ok = !args.tol.check_time || what.time_path.is_none() || tripped(Class::Time);
+        let quality_ok = what.quality_path.is_none() || tripped(Class::Quality);
+        let quantile_ok =
+            !args.tol.check_time || what.quantile_path.is_none() || tripped(Class::Quantile);
+        if what.time_path.is_none() && what.quality_path.is_none() && what.quantile_path.is_none() {
             println!("self-test FAILED: no injectable leaves found in {path}");
             std::process::exit(1);
         }
-        if !(time_ok && quality_ok) {
+        if !(time_ok && quality_ok && quantile_ok) {
             println!(
-                "self-test FAILED: injected regressions did not trip (time on {:?}: {}, quality on {:?}: {})",
-                what.time_path, time_ok, what.quality_path, quality_ok
+                "self-test FAILED: injected regressions did not trip \
+                 (time on {:?}: {time_ok}, quality on {:?}: {quality_ok}, \
+                 quantile on {:?}: {quantile_ok})",
+                what.time_path, what.quality_path, what.quantile_path
             );
             print_findings(&d, true);
             std::process::exit(1);
         }
         println!(
-            "self-test ok: identity diff clean ({} leaves); injected regressions tripped (time: {:?}, quality: {:?})",
-            identity.compared, what.time_path, what.quality_path
+            "self-test ok: identity diff clean ({} leaves); injected regressions tripped \
+             (time: {:?}, quality: {:?}, quantile: {:?})",
+            identity.compared, what.time_path, what.quality_path, what.quantile_path
         );
         return;
     }
@@ -148,7 +200,7 @@ fn main() {
             "obs_diff: {regressions} regression(s) across {} compared leaves ({} vs {})",
             result.compared, baseline, candidate
         );
-        std::process::exit(1);
+        std::process::exit(exit_code_for(&result));
     }
     println!(
         "obs_diff: ok — {} leaves compared, no regressions ({} vs {})",

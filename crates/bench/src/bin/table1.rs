@@ -1,11 +1,13 @@
 //! Table I: class distribution of the built dataset.
 
-use rsd_bench::{seed_from_env, Prepared, Scale};
+use rsd_bench::{seed_from_env, Prepared, Scale, Telemetry};
 use rsd_dataset::stats::class_distribution;
 use rsd_obs::Value;
 
 fn main() {
-    let mut run = rsd_obs::RunReport::new("table1", Scale::from_env().name(), seed_from_env());
+    let scale = Scale::from_env();
+    let mut run = rsd_obs::RunReport::new("table1", scale.name(), seed_from_env());
+    let mut telemetry = Telemetry::start("table1", scale);
     let prepared = Prepared::from_env();
     println!(
         "Table I — Data Distribution (scale {:?}, seed {})",
@@ -30,6 +32,7 @@ fn main() {
 
     run.set("posts", Value::Int(prepared.dataset.n_posts() as i128))
         .set("users", Value::Int(prepared.dataset.n_users() as i128));
+    telemetry.finish();
     run.write_profile().expect("write folded profile");
     run.write().expect("write run report");
     rsd_obs::flush();

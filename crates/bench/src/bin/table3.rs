@@ -8,12 +8,14 @@
 
 use std::time::Instant;
 
-use rsd_bench::{seed_from_env, table3_configs, Prepared, Scale};
+use rsd_bench::{seed_from_env, table3_configs, Prepared, Scale, Telemetry};
 use rsd_models::{BiLstmBaseline, HiGruBaseline, PlmBaseline, XgboostBaseline};
 use rsd_obs::Value;
 
 fn main() {
-    let mut run = rsd_obs::RunReport::new("table3", Scale::from_env().name(), seed_from_env());
+    let scale = Scale::from_env();
+    let mut run = rsd_obs::RunReport::new("table3", scale.name(), seed_from_env());
+    let mut telemetry = Telemetry::start("table3", scale);
     let prepared = Prepared::from_env();
     let data = prepared.bench_data();
     let cfgs = table3_configs(prepared.scale);
@@ -107,6 +109,7 @@ fn main() {
 
     run.set("selected", Value::from(selected.as_str()))
         .set("models", Value::Array(model_rows));
+    telemetry.finish();
     run.write_profile().expect("write folded profile");
     run.write().expect("write run report");
     rsd_obs::flush();

@@ -96,6 +96,41 @@ pub fn seed_from_env() -> u64 {
         .unwrap_or(2026)
 }
 
+/// Continuous-telemetry lifecycle for a bench binary: holds the
+/// time-series driver ([`rsd_obs::timeseries`]) when `RSD_OBS_TICK_MS`
+/// or `RSD_OBS_TRACE` requests it. Create it right after parsing
+/// scale/seed and call [`Telemetry::finish`] *before* writing the run
+/// report, so the final `obs.ring.*` gauges and latency quantiles land
+/// in the report's registry snapshot.
+pub struct Telemetry {
+    guard: Option<rsd_obs::timeseries::SeriesGuard>,
+}
+
+impl Telemetry {
+    /// Start the driver for `bin` at `scale` if the environment asks for
+    /// continuous telemetry; otherwise a no-op handle.
+    pub fn start(bin: &str, scale: Scale) -> Telemetry {
+        Telemetry {
+            guard: rsd_obs::timeseries::start(bin, scale.name()),
+        }
+    }
+
+    /// Stop the driver (flushing the final snapshot and trace export)
+    /// and report where the artifacts went on stderr.
+    pub fn finish(&mut self) {
+        let Some(guard) = self.guard.take() else {
+            return;
+        };
+        let outputs = guard.finish();
+        if let Some(path) = &outputs.series {
+            eprintln!("series: {}", path.display());
+        }
+        if let Some(path) = &outputs.trace {
+            eprintln!("trace: {}", path.display());
+        }
+    }
+}
+
 /// A prepared experiment environment.
 pub struct Prepared {
     /// The built dataset.

@@ -286,10 +286,12 @@ impl Sink<ShardCandidates> for CandidateSink {
                 self.next_shard, shard.index, item.shard
             )));
         }
+        let mut text_bytes = 0u64;
         for row in item.rows {
             let id = self.post_offset + u64::from(row.id);
             let id = u32::try_from(id)
                 .map_err(|_| RsdError::data("global post id exceeds u32 range"))?;
+            text_bytes += row.canon.len() as u64;
             self.rows.push(MergedRow {
                 id,
                 author: row.author,
@@ -306,6 +308,7 @@ impl Sink<ShardCandidates> for CandidateSink {
         self.raw_users += item.raw_users;
         self.posts_fetched += item.crawl.posts_fetched;
         self.next_shard += 1;
+        rsd_obs::stage_progress("pipeline.merge", item.raw_posts as u64, text_bytes);
         Ok(())
     }
 }
@@ -576,6 +579,7 @@ fn build_streaming_inner(cfg: &BuildConfig, opts: &StreamingOptions) -> Result<S
         let (items, report) = campaign.run(&items)?;
         Ok(AnnotateArtifact { items, report })
     })?;
+    rsd_obs::stage_progress("pipeline.annotate", annotate.items.len() as u64, 0);
     check_interrupt(opts, "pipeline.annotate")?;
     if annotate.items.len() != pool_posts.len() {
         return Err(RsdError::PipelineState(format!(
@@ -591,8 +595,10 @@ fn build_streaming_inner(cfg: &BuildConfig, opts: &StreamingOptions) -> Result<S
     let mut posts = Vec::with_capacity(pool_posts.len());
     let mut timelines: HashMap<UserId, Vec<usize>> = HashMap::new();
     let mut user_remap: HashMap<UserId, UserId> = HashMap::new();
+    let mut assembled_bytes = 0u64;
     for (kept, annotation) in pool_posts.into_iter().zip(&annotate.items) {
         debug_assert_eq!(PostId(kept.id), annotation.post);
+        assembled_bytes += kept.text.len() as u64;
         let new_user = {
             let next = UserId(user_remap.len() as u32);
             *user_remap.entry(UserId(kept.author)).or_insert(next)
@@ -623,6 +629,11 @@ fn build_streaming_inner(cfg: &BuildConfig, opts: &StreamingOptions) -> Result<S
         seed: cfg.seed,
     };
     dataset.validate()?;
+    rsd_obs::stage_progress(
+        "pipeline.assemble",
+        dataset.posts.len() as u64,
+        assembled_bytes,
+    );
     drop(assemble_span);
 
     let report = BuildReport {

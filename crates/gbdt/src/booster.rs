@@ -92,8 +92,10 @@ impl Booster {
         let mut best_len = 0usize;
 
         let _fit_span = rsd_obs::Span::enter("gbdt.fit");
+        rsd_obs::stage_register("gbdt.fit");
         for _round in 0..cfg.n_rounds {
             let _round_span = rsd_obs::Span::enter("gbdt.fit.round");
+            let round_t0 = std::time::Instant::now();
             // Softmax gradients, chunked over whole sample rows (each
             // row's grad/hess cells are written by exactly one chunk).
             let mut grad = vec![0.0f32; n * k];
@@ -160,6 +162,8 @@ impl Booster {
                 }
             });
             booster.trees.push(round_trees);
+            rsd_obs::latency_ns("gbdt.fit.round", round_t0.elapsed().as_nanos() as u64);
+            rsd_obs::stage_progress("gbdt.fit", k as u64, 0);
 
             // Early stopping on validation log-loss.
             if let Some((vm, vl)) = valid {
@@ -180,6 +184,7 @@ impl Booster {
                 }
             }
         }
+        rsd_obs::stage_finish("gbdt.fit");
         Ok(booster)
     }
 

@@ -137,6 +137,7 @@ pub fn train_classifier(
     };
 
     let _train_span = rsd_obs::Span::enter("models.train");
+    rsd_obs::stage_register("models.train");
     for epoch in 0..cfg.epochs {
         let _epoch_span = rsd_obs::Span::enter("models.train.epoch");
         // Epoch ordering.
@@ -164,6 +165,7 @@ pub fn train_classifier(
             // batches would otherwise dominate the telemetry stream.
             let _batch_span = (telemetry && rsd_obs::profile_enabled())
                 .then(|| rsd_obs::Span::enter("models.train.batch"));
+            let batch_t0 = std::time::Instant::now();
             let mut results: Vec<Option<(Tape, f32)>> = (0..batch.len()).map(|_| None).collect();
             let store_ref: &ParamStore = store;
             let base = done;
@@ -188,6 +190,8 @@ pub fn train_classifier(
             store.scale_grads(1.0 / batch.len() as f32);
             store.clip_grad_norm(cfg.clip);
             opt.step(store);
+            rsd_obs::latency_ns("models.train.batch", batch_t0.elapsed().as_nanos() as u64);
+            rsd_obs::stage_progress("models.train", batch.len() as u64, 0);
         }
 
         // Validation macro-F1.
@@ -216,6 +220,7 @@ pub fn train_classifier(
             }
         }
     }
+    rsd_obs::stage_finish("models.train");
     if let Some(best) = best_store {
         *store = best;
     }

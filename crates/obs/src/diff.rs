@@ -15,12 +15,22 @@
 //! - **Time** — wall-clock leaves (`*_ms`, percentiles, durations):
 //!   candidate may not exceed `baseline * (1 + time_ratio)`; leaves
 //!   below `min_time_ms` are noise and ignored.
+//! - **Quantile** — HDR latency quantiles (`p50_ms` … `p999_ms`, from
+//!   the continuous-telemetry layer): each quantile carries its own
+//!   tolerance ratio — tails are noisier, so p999 gets more headroom
+//!   than p50 — with a shared `min_quantile_ms` noise floor.
 //! - **Memory** — byte/peak/resident leaves: candidate may not exceed
 //!   `baseline * (1 + mem_ratio)` once above `min_mem_bytes`.
-//! - **Speedup** — bigger-is-better ratios: candidate may not fall
-//!   below `baseline * (1 - time_ratio)`.
+//! - **Speedup** — bigger-is-better ratios (`*speedup*`,
+//!   `*throughput*`, `*_per_s`): candidate may not fall below
+//!   `baseline * (1 - time_ratio)`.
 //! - **Info** — everything else: reported on mismatch only at the
 //!   verbose level, never a regression.
+//!
+//! Every regression finding names the offending path and both values.
+//! [`summarize`]-style inputs work too: the `obs_diff` bin feeds
+//! `.series.ndjson` files through
+//! [`crate::timeseries::summarize_series`] before diffing.
 
 use serde_json::Value;
 
@@ -40,8 +50,14 @@ pub struct Tolerances {
     pub min_mem_bytes: f64,
     /// Absolute epsilon for float Quality leaves.
     pub quality_eps: f64,
-    /// Gate on Time/Speedup leaves at all (CI on a loaded machine may
-    /// disable timing and keep the quality gate).
+    /// Allowed relative increase per latency quantile, `[p50, p90, p99,
+    /// p999]`. Tails are noisier, so defaults widen with the quantile.
+    pub quantile_ratios: [f64; 4],
+    /// Quantile leaves where both sides are under this many ms are
+    /// noise and skipped.
+    pub min_quantile_ms: f64,
+    /// Gate on Time/Quantile/Speedup leaves at all (CI on a loaded
+    /// machine may disable timing and keep the quality gate).
     pub check_time: bool,
 }
 
@@ -53,8 +69,32 @@ impl Default for Tolerances {
             min_time_ms: 50.0,
             min_mem_bytes: (1 << 20) as f64,
             quality_eps: 1e-6,
+            quantile_ratios: [0.15, 0.20, 0.25, 0.40],
+            min_quantile_ms: 1.0,
             check_time: true,
         }
+    }
+}
+
+impl Tolerances {
+    /// The tolerance ratio for a quantile leaf segment (`"p50_ms"` …).
+    pub fn quantile_ratio(&self, segment: &str) -> f64 {
+        match quantile_index(segment) {
+            Some(i) => self.quantile_ratios[i],
+            None => self.time_ratio,
+        }
+    }
+}
+
+/// Index into [`Tolerances::quantile_ratios`] for a quantile leaf
+/// segment, `None` for non-quantile segments.
+fn quantile_index(segment: &str) -> Option<usize> {
+    match segment {
+        "p50_ms" => Some(0),
+        "p90_ms" => Some(1),
+        "p99_ms" => Some(2),
+        "p999_ms" => Some(3),
+        _ => None,
     }
 }
 
@@ -64,6 +104,7 @@ pub enum Class {
     Skip,
     Quality,
     Time,
+    Quantile,
     Memory,
     Speedup,
     Info,
@@ -118,7 +159,7 @@ const SKIP_SEGMENTS: &[&str] = &[
 const SKIP_SUBSTRINGS: &[&str] = &["par.tasks", "par.pool", "alloc.allocations"];
 
 /// Segment substrings marking bigger-is-better ratio leaves.
-const SPEEDUP_MARKS: &[&str] = &["speedup", "throughput"];
+const SPEEDUP_MARKS: &[&str] = &["speedup", "throughput", "per_s"];
 
 /// Segment substrings marking memory leaves.
 const MEM_MARKS: &[&str] = &["bytes", "resident", "peak_live", "rss"];
@@ -164,6 +205,9 @@ pub fn classify(path: &str) -> Class {
     {
         return Class::Skip;
     }
+    if quantile_index(segs.last().unwrap_or(&"")).is_some() {
+        return Class::Quantile;
+    }
     if segs
         .iter()
         .any(|s| SPEEDUP_MARKS.iter().any(|m| s.contains(m)))
@@ -202,6 +246,22 @@ fn fmt_leaf(v: &Value) -> String {
     v.to_json()
 }
 
+/// Leaf formatting for missing-key findings, truncated so a vanished
+/// subtree doesn't dump its whole JSON into the gate output.
+fn fmt_leaf_short(v: &Value) -> String {
+    let s = v.to_json();
+    if s.len() <= 120 {
+        return s;
+    }
+    let cut = s
+        .char_indices()
+        .take_while(|(i, _)| *i < 117)
+        .last()
+        .map(|(i, c)| i + c.len_utf8())
+        .unwrap_or(0);
+    format!("{}...", &s[..cut])
+}
+
 /// Compare one leaf pair under its class; push a finding if noteworthy.
 fn compare_leaf(path: &str, base: &Value, cand: &Value, tol: &Tolerances, out: &mut DiffResult) {
     let class = classify(path);
@@ -228,7 +288,7 @@ fn compare_leaf(path: &str, base: &Value, cand: &Value, tol: &Tolerances, out: &
                 });
             }
         }
-        Class::Time | Class::Speedup | Class::Memory => {
+        Class::Time | Class::Quantile | Class::Speedup | Class::Memory => {
             let (Some(b), Some(c)) = (as_num(base), as_num(cand)) else {
                 if base != cand {
                     out.findings.push(Finding {
@@ -251,6 +311,14 @@ fn compare_leaf(path: &str, base: &Value, cand: &Value, tol: &Tolerances, out: &
                     }
                     let allowed = b * (1.0 + tol.time_ratio);
                     (tol.min_time_ms, allowed, c > allowed, "slower")
+                }
+                Class::Quantile => {
+                    if !tol.check_time {
+                        return;
+                    }
+                    let seg = path.rsplit('.').next().unwrap_or("");
+                    let allowed = b * (1.0 + tol.quantile_ratio(seg));
+                    (tol.min_quantile_ms, allowed, c > allowed, "slower quantile")
                 }
                 Class::Speedup => {
                     if !tol.check_time {
@@ -313,7 +381,10 @@ fn walk(path: &str, base: &Value, cand: &Value, tol: &Tolerances, out: &mut Diff
                                 path: sub,
                                 class: Class::Quality,
                                 regression: true,
-                                detail: "present in baseline, missing in candidate".to_string(),
+                                detail: format!(
+                                    "present in baseline ({}), missing in candidate",
+                                    fmt_leaf_short(bv)
+                                ),
                             });
                         }
                     }
@@ -381,11 +452,14 @@ pub struct Injection {
     pub time_path: Option<String>,
     /// Path whose quality value was perturbed, if any.
     pub quality_path: Option<String>,
+    /// Tail-latency quantile (p99/p999) that was inflated, if any.
+    pub quantile_path: Option<String>,
 }
 
 /// Produce a copy of `report` with an injected 2x slowdown on the first
-/// gate-eligible Time leaf and a drift on the first float Quality leaf —
-/// the `obs_diff --self-test` fixture proving the gate trips.
+/// gate-eligible Time leaf, a drift on the first float Quality leaf, and
+/// an inflated tail (p99/p999) on the first latency quantile — the
+/// `obs_diff --self-test` fixture proving each gate class trips.
 pub fn inject_regressions(report: &Value, tol: &Tolerances) -> (Value, Injection) {
     let mut inj = Injection::default();
     let injected = map_leaves("", report, &mut |path, leaf| {
@@ -397,6 +471,19 @@ pub fn inject_regressions(report: &Value, tol: &Tolerances) -> (Value, Injection
                     if n >= tol.min_time_ms {
                         inj.time_path = Some(path.to_string());
                         return Value::Float(n * 2.0);
+                    }
+                }
+            }
+            Class::Quantile if inj.quantile_path.is_none() => {
+                let seg = path.rsplit('.').next().unwrap_or("");
+                // Target the tail: a p99 drift is what the continuous
+                // layer exists to catch.
+                if matches!(seg, "p99_ms" | "p999_ms") {
+                    if let Some(n) = as_num(leaf) {
+                        // Clears both the noise floor and every
+                        // per-quantile tolerance band.
+                        inj.quantile_path = Some(path.to_string());
+                        return Value::Float(n * 2.0 + tol.min_quantile_ms * 2.0 + 1.0);
                     }
                 }
             }
@@ -529,6 +616,102 @@ mod tests {
         let mut s2 = DiffResult::default();
         compare_leaf("matmul.speedup", &json!(2.5), &json!(3.5), &tol, &mut s2);
         assert!(!s2.regressed());
+    }
+
+    #[test]
+    fn quantile_class_gates_per_quantile() {
+        let tol = Tolerances::default();
+        assert_eq!(classify("latency.pipeline.shard.p99_ms"), Class::Quantile);
+        assert_eq!(
+            classify("series.latency.models.train.batch.p999_ms"),
+            Class::Quantile
+        );
+        // Bare registry quantiles keep their historical Time class.
+        assert_eq!(classify("metrics.histograms.dist.p99"), Class::Time);
+
+        // p50 drift beyond 15% trips…
+        let mut r = DiffResult::default();
+        compare_leaf("latency.x.p50_ms", &json!(10.0), &json!(12.0), &tol, &mut r);
+        assert!(r.regressed());
+        // …while the same +20% on p999 sits inside its 40% band.
+        let mut r2 = DiffResult::default();
+        compare_leaf(
+            "latency.x.p999_ms",
+            &json!(10.0),
+            &json!(12.0),
+            &tol,
+            &mut r2,
+        );
+        assert!(!r2.regressed(), "findings: {:?}", r2.findings);
+        // Sub-floor quantiles are noise on both sides.
+        let mut r3 = DiffResult::default();
+        compare_leaf("latency.x.p99_ms", &json!(0.2), &json!(0.9), &tol, &mut r3);
+        assert!(!r3.regressed());
+    }
+
+    #[test]
+    fn injector_inflates_a_tail_quantile() {
+        let tol = Tolerances::default();
+        let base = json!({
+            "series": json!({
+                "latency": json!({
+                    "pipeline.shard": json!({
+                        "count": 16, "p50_ms": 3.0, "p90_ms": 4.0,
+                        "p99_ms": 4.5, "p999_ms": 4.5
+                    })
+                })
+            })
+        });
+        let (cand, inj) = inject_regressions(&base, &tol);
+        let qpath = inj.quantile_path.expect("tail quantile injected");
+        assert!(qpath.ends_with("p99_ms") || qpath.ends_with("p999_ms"));
+        let d = diff_reports(&base, &cand, &tol);
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.class == Class::Quantile && f.regression && f.path == qpath));
+    }
+
+    #[test]
+    fn throughput_rates_gate_as_speedup() {
+        assert_eq!(
+            classify("series.stages.pipeline.shards.items_per_s"),
+            Class::Speedup
+        );
+        assert_eq!(
+            classify("series.stages.pipeline.shards.bytes_per_s"),
+            Class::Speedup
+        );
+        let tol = Tolerances::default();
+        let mut r = DiffResult::default();
+        compare_leaf(
+            "series.stages.s.items_per_s",
+            &json!(1000.0),
+            &json!(500.0),
+            &tol,
+            &mut r,
+        );
+        assert!(r.regressed());
+    }
+
+    #[test]
+    fn missing_key_detail_names_the_baseline_value() {
+        let base = report();
+        let mut cand = base.clone();
+        if let Value::Object(m) = &mut cand {
+            m.remove("kappa");
+        }
+        let d = diff_reports(&base, &cand, &Tolerances::default());
+        let f = d
+            .findings
+            .iter()
+            .find(|f| f.path == "kappa")
+            .expect("missing-key finding");
+        assert!(
+            f.detail.contains("0.7206"),
+            "detail must carry the baseline value: {}",
+            f.detail
+        );
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Log-linear ("HDR-style") latency histograms with mergeable shards.
+//!
+//! [`HdrHist`] records `u64` nanosecond values into log-linear buckets:
+//! values below 32 are exact; every octave `[2^e, 2^(e+1))` above that is
+//! split into 32 linear sub-buckets. Quantile estimates use the bucket
+//! midpoint, so the **documented error bound** is a relative error of at
+//! most `1/64` (≈1.6%) for any value ≥ 32 ns, and zero below. Merging is
+//! exact bucket-count addition, so merging per-worker shards in *any
+//! order* yields bit-identical quantiles to single-shard recording — the
+//! property the shard-merge proptests pin.
+//!
+//! The global registry keeps one shard map per thread-ordinal stripe:
+//! [`observe_ns`] locks only the calling thread's stripe (uncontended in
+//! steady state — `rsd-par` worker ordinals are stable), and
+//! [`merged`] folds all stripes into one `HdrHist` per label for
+//! snapshots and reports.
+
+use parking_lot::Mutex;
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Sub-bucket bits per octave: 32 linear sub-buckets.
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Buckets: 32 exact low values + 32 sub-buckets for each octave
+/// `e = 5..=63`.
+const N_BUCKETS: usize = (SUB_COUNT as usize) * (64 - SUB_BITS as usize + 1);
+
+/// Maximum relative quantile error for values ≥ 32 (midpoint of a
+/// 1/32-wide sub-bucket): `1/64`.
+pub const MAX_RELATIVE_ERROR: f64 = 1.0 / 64.0;
+
+/// A mergeable log-linear histogram over `u64` values (nanoseconds by
+/// convention).
+#[derive(Debug, Clone)]
+pub struct HdrHist {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HdrHist {
+    fn default() -> HdrHist {
+        HdrHist {
+            counts: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HdrHist {
+    /// Fresh empty histogram.
+    pub fn new() -> HdrHist {
+        HdrHist::default()
+    }
+
+    /// Bucket index for a value.
+    fn bucket(value: u64) -> usize {
+        if value < SUB_COUNT {
+            return value as usize;
+        }
+        let e = 63 - value.leading_zeros(); // e >= SUB_BITS
+        let sub = (value >> (e - SUB_BITS)) - SUB_COUNT;
+        ((e - SUB_BITS + 1) as u64 * SUB_COUNT + sub) as usize
+    }
+
+    /// Representative (midpoint) value for a bucket index.
+    fn bucket_mid(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < SUB_COUNT {
+            return idx;
+        }
+        let e = idx / SUB_COUNT - 1 + u64::from(SUB_BITS);
+        let sub = idx % SUB_COUNT;
+        let low = (SUB_COUNT + sub) << (e - u64::from(SUB_BITS));
+        let width = 1u64 << (e - u64::from(SUB_BITS));
+        low + width / 2
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Fold another histogram into this one. Exact: bucket counts add,
+    /// so quantiles after merging are independent of merge order.
+    pub fn merge(&mut self, other: &HdrHist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by cumulative walk,
+    /// clamped to the observed `[min, max]`. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_mid(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Summary as a JSON object with millisecond quantiles
+    /// (`count`, `sum_ms`, `min_ms`, `max_ms`, `mean_ms`, `p50_ms`,
+    /// `p90_ms`, `p99_ms`, `p999_ms`).
+    pub fn summary_ms(&self) -> Value {
+        let ms = |ns: u64| Value::Float(ns as f64 / 1e6);
+        let mut m = Map::new();
+        m.insert("count", Value::Int(self.count as i128));
+        m.insert("sum_ms", Value::Float(self.sum as f64 / 1e6));
+        if self.count > 0 {
+            m.insert("min_ms", ms(self.min));
+            m.insert("max_ms", ms(self.max));
+            m.insert(
+                "mean_ms",
+                Value::Float(self.sum as f64 / 1e6 / self.count as f64),
+            );
+            for (name, q) in [
+                ("p50_ms", 0.5),
+                ("p90_ms", 0.9),
+                ("p99_ms", 0.99),
+                ("p999_ms", 0.999),
+            ] {
+                if let Some(v) = self.quantile(q) {
+                    m.insert(name, ms(v));
+                }
+            }
+        }
+        Value::Object(m)
+    }
+}
+
+/// Thread-ordinal stripes for the global registry. 16 stripes keeps the
+/// per-stripe mutexes effectively uncontended at the 64-thread pool cap.
+const N_STRIPES: usize = 16;
+
+type Stripe = Mutex<BTreeMap<&'static str, HdrHist>>;
+
+fn stripes() -> &'static [Stripe; N_STRIPES] {
+    static STRIPES: OnceLock<[Stripe; N_STRIPES]> = OnceLock::new();
+    STRIPES.get_or_init(|| std::array::from_fn(|_| Mutex::new(BTreeMap::new())))
+}
+
+/// Bumped on every mutation of the stripe registry, so periodic
+/// snapshotters (the time-series driver) can skip the merge entirely on
+/// ticks where nothing was recorded.
+static GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Current mutation generation of the stripe registry.
+pub fn generation() -> u64 {
+    GENERATION.load(std::sync::atomic::Ordering::Acquire)
+}
+
+/// Record a nanosecond latency observation for `label` into the calling
+/// thread's stripe. Cheap: one uncontended mutex and a map upsert.
+pub fn observe_ns(label: &'static str, ns: u64) {
+    let stripe = &stripes()[(crate::thread_ord() as usize) % N_STRIPES];
+    stripe.lock().entry(label).or_default().record(ns);
+    GENERATION.fetch_add(1, std::sync::atomic::Ordering::Release);
+}
+
+/// Merge every stripe into one histogram per label.
+pub fn merged() -> BTreeMap<&'static str, HdrHist> {
+    let mut out: BTreeMap<&'static str, HdrHist> = BTreeMap::new();
+    for stripe in stripes().iter() {
+        for (label, hist) in stripe.lock().iter() {
+            out.entry(label)
+                .and_modify(|h| h.merge(hist))
+                .or_insert_with(|| hist.clone());
+        }
+    }
+    out
+}
+
+/// JSON summaries (per label) of the merged registry, or `Null` when no
+/// latencies were recorded.
+pub fn snapshot_value() -> Value {
+    let merged = merged();
+    if merged.is_empty() {
+        return Value::Null;
+    }
+    let mut m = Map::new();
+    for (label, hist) in &merged {
+        m.insert(*label, hist.summary_ms());
+    }
+    Value::Object(m)
+}
+
+/// Drop every recorded latency (test isolation).
+pub fn reset() {
+    for stripe in stripes().iter() {
+        stripe.lock().clear();
+    }
+    GENERATION.fetch_add(1, std::sync::atomic::Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_values_are_exact() {
+        let mut h = HdrHist::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(31));
+        // Value 10 sits at rank 11/32.
+        assert_eq!(h.quantile(11.0 / 32.0), Some(10));
+    }
+
+    #[test]
+    fn quantile_error_within_documented_bound() {
+        let mut h = HdrHist::new();
+        let values: Vec<u64> = (0..10_000u64).map(|i| 1_000 + i * 977).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = values[rank] as f64;
+            let got = h.quantile(q).unwrap() as f64;
+            let rel = (got - exact).abs() / exact;
+            assert!(
+                rel <= MAX_RELATIVE_ERROR,
+                "q{q}: got {got}, exact {exact}, rel {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_and_commutative() {
+        let mut all = HdrHist::new();
+        let mut shards: Vec<HdrHist> = (0..4).map(|_| HdrHist::new()).collect();
+        for i in 0..5_000u64 {
+            let v = (i * 7919) % 1_000_000 + 1;
+            all.record(v);
+            shards[(i % 4) as usize].record(v);
+        }
+        let mut ab = HdrHist::new();
+        for s in &shards {
+            ab.merge(s);
+        }
+        let mut ba = HdrHist::new();
+        for s in shards.iter().rev() {
+            ba.merge(s);
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(ab.quantile(q), all.quantile(q), "q={q}");
+            assert_eq!(ba.quantile(q), all.quantile(q), "q={q}");
+        }
+        assert_eq!(ab.count(), all.count());
+        assert_eq!(ab.sum(), all.sum());
+    }
+
+    #[test]
+    fn bucket_mid_is_monotone_and_in_range() {
+        let mut prev = 0u64;
+        for idx in 0..N_BUCKETS {
+            let mid = HdrHist::bucket_mid(idx);
+            assert!(mid >= prev, "idx {idx}: {mid} < {prev}");
+            prev = mid;
+        }
+        for v in [0u64, 1, 31, 32, 33, 1_000, 1 << 20, u64::MAX / 2] {
+            let idx = HdrHist::bucket(v);
+            let mid = HdrHist::bucket_mid(idx) as f64;
+            let rel = (mid - v as f64).abs() / (v as f64).max(1.0);
+            assert!(
+                rel <= MAX_RELATIVE_ERROR || v < 32,
+                "v={v} mid={mid} rel={rel}"
+            );
+        }
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// Merging per-worker shards in ANY order must yield the
+            /// same quantiles as recording every value into a single
+            /// histogram: merge adds bucket counts, which is exact, so
+            /// the merged quantiles are bucket-identical — and both
+            /// stay within the documented `MAX_RELATIVE_ERROR` of the
+            /// true sample quantile.
+            fn sharded_merge_matches_single_recording(
+                samples in collection::vec((1u64..5_000_000, 0usize..8), 1..400),
+                rotation in 0usize..8,
+            ) {
+                let n_shards = 8;
+                let mut single = HdrHist::new();
+                let mut shards: Vec<HdrHist> =
+                    (0..n_shards).map(|_| HdrHist::new()).collect();
+                for &(value, worker) in &samples {
+                    single.record(value);
+                    shards[worker % n_shards].record(value);
+                }
+
+                // Merge in an arbitrary rotated order.
+                let mut merged = HdrHist::new();
+                for i in 0..n_shards {
+                    merged.merge(&shards[(i + rotation) % n_shards]);
+                }
+
+                prop_assert_eq!(merged.count(), single.count());
+                prop_assert_eq!(merged.sum(), single.sum());
+                let mut sorted: Vec<u64> =
+                    samples.iter().map(|&(v, _)| v).collect();
+                sorted.sort_unstable();
+                for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                    let m = merged.quantile(q);
+                    prop_assert_eq!(m, single.quantile(q));
+                    // Both stay within the documented bucket bound of
+                    // the true sample quantile.
+                    let rank = ((q * sorted.len() as f64).ceil() as usize)
+                        .max(1)
+                        - 1;
+                    let exact = sorted[rank] as f64;
+                    let got = m.unwrap() as f64;
+                    let rel = (got - exact).abs() / exact.max(1.0);
+                    prop_assert!(
+                        rel <= MAX_RELATIVE_ERROR || exact < 32.0,
+                        "q={} got {} exact {} rel {}", q, got, exact, rel
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn registry_stripes_merge_across_threads() {
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..1_000u64 {
+                        observe_ns("stripe.test", 1_000 + i);
+                    }
+                });
+            }
+        });
+        let folded = merged();
+        let h = folded.get("stripe.test").expect("label recorded");
+        assert_eq!(h.count(), 8_000);
+        reset();
+        assert!(!merged().contains_key("stripe.test"));
+    }
+}

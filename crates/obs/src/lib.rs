@@ -28,13 +28,17 @@
 
 pub mod alloc;
 pub mod diff;
+pub mod hist;
 mod registry;
 mod report;
+pub mod ring;
 mod sink;
 mod span;
+pub mod timeseries;
+pub mod trace_export;
 mod tree;
 
-pub use registry::{Histogram, Registry, SpanStat, TreeStat};
+pub use registry::{Histogram, Registry, SpanStat, StageStat, TreeStat};
 pub use report::{run_meta, RunReport};
 pub use span::{current_context, with_context, Span, SpanContext};
 pub use tree::{parse_folded, render_folded};
@@ -203,6 +207,32 @@ pub fn registry() -> &'static Registry {
     &global().registry
 }
 
+/// Nanoseconds since the telemetry epoch (the first touch of the global
+/// state). Ring events and trace timestamps share this clock.
+pub fn epoch_ns() -> u64 {
+    global().epoch.elapsed().as_nanos() as u64
+}
+
+/// Force the registry on without installing a sink, even if telemetry
+/// already latched off. Used by the continuous-telemetry driver
+/// ([`timeseries::start`]): `RSD_OBS_TICK_MS`/`RSD_OBS_TRACE` must
+/// produce span and ring data even when `RSD_OBS` is unset.
+pub(crate) fn ensure_registry() {
+    if FLAG.load(Ordering::Acquire) == FLAG_ON {
+        return;
+    }
+    global();
+    let _ = MODE_DESC.set("silent".to_string());
+    // Deliberately NOT arming alloc counting here: counting every
+    // allocation costs ~25% wall-clock on allocation-heavy builds,
+    // while the continuous layer must stay within a few percent of
+    // telemetry-off. Allocation gauges appear in series snapshots only
+    // when an explicit `RSD_OBS` mode armed the counter (or a test
+    // armed it directly); the `alloc` section is conditional on
+    // `alloc::active()` either way.
+    FLAG.store(FLAG_ON, Ordering::Release);
+}
+
 /// Monotonic ordinal source for [`thread_ord`].
 static NEXT_THREAD_ORD: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
@@ -246,6 +276,49 @@ pub fn counter_add(label: &'static str, n: u64) {
         return;
     }
     registry().counter_add(label, n);
+    ring::publish(ring::EventKind::Counter, label, n, 0);
+}
+
+/// Report progress for a pipeline stage: `items` records and `bytes`
+/// processed since the last call. Aggregates into the registry's stage
+/// totals and, when the continuous layer is armed, publishes a ring
+/// event the time-series driver turns into windowed `items_per_s` /
+/// `bytes_per_s` rates.
+pub fn stage_progress(label: &'static str, items: u64, bytes: u64) {
+    if !enabled() {
+        return;
+    }
+    registry().stage_add(label, items, bytes);
+    ring::publish(ring::EventKind::StageProgress, label, items, bytes);
+}
+
+/// Register a stage with the stall watchdog: while registered (and not
+/// yet finished), the time-series driver emits a `stall` event if the
+/// stage reports no progress for `RSD_OBS_STALL_TICKS` consecutive
+/// ticks.
+pub fn stage_register(label: &'static str) {
+    if !enabled() {
+        return;
+    }
+    ring::publish(ring::EventKind::StageRegister, label, 0, 0);
+}
+
+/// Mark a registered stage as finished (leaves the stall watchdog).
+pub fn stage_finish(label: &'static str) {
+    if !enabled() {
+        return;
+    }
+    ring::publish(ring::EventKind::StageFinish, label, 0, 0);
+}
+
+/// Record a latency observation (nanoseconds) into the sharded HDR
+/// histogram registry. Only active while the continuous layer is armed,
+/// so hot paths pay one atomic load otherwise.
+pub fn latency_ns(label: &'static str, ns: u64) {
+    if !ring::armed() {
+        return;
+    }
+    hist::observe_ns(label, ns);
 }
 
 /// Set a gauge and emit a `gauge` NDJSON record.
@@ -260,6 +333,7 @@ pub fn gauge_tagged(label: &'static str, value: f64, fields: &[(&'static str, Va
         return;
     }
     registry().gauge_set(label, value);
+    ring::publish(ring::EventKind::Gauge, label, value.to_bits(), 0);
     let mut all = Vec::with_capacity(fields.len() + 1);
     all.push(("value", Value::Float(value)));
     all.extend_from_slice(fields);
@@ -305,6 +379,11 @@ pub(crate) struct SpanRecord {
 /// Called by [`Span`] guards on drop.
 pub(crate) fn finish_span(rec: SpanRecord) {
     let g = global();
+    if ring::armed() {
+        let dur_ns = rec.elapsed.as_nanos() as u64;
+        ring::publish(ring::EventKind::SpanEnd, rec.label, dur_ns, rec.self_ns);
+        hist::observe_ns(rec.label, dur_ns);
+    }
     g.registry.record_span(rec.label, rec.elapsed, rec.depth);
     g.registry.record_tree(
         &rec.path,
@@ -358,6 +437,7 @@ pub fn capture<F: FnOnce()>(f: F) -> Vec<Value> {
     let prev_flag = FLAG.swap(FLAG_ON, Ordering::AcqRel);
     let prev_sink = std::mem::replace(&mut *g.sink.lock(), Sink::Memory(Arc::clone(&buf)));
     g.registry.reset();
+    hist::reset();
 
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
 

@@ -183,12 +183,22 @@ impl TreeStat {
     }
 }
 
+/// Cumulative totals for one pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageStat {
+    /// Records processed.
+    pub items: u64,
+    /// Bytes processed.
+    pub bytes: u64,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     histograms: BTreeMap<&'static str, Histogram>,
     spans: BTreeMap<&'static str, SpanStat>,
+    stages: BTreeMap<&'static str, StageStat>,
     tree: BTreeMap<String, TreeStat>,
 }
 
@@ -256,6 +266,19 @@ impl Registry {
         self.inner.lock().spans.get(label).copied()
     }
 
+    /// Add to a stage's cumulative item/byte totals.
+    pub fn stage_add(&self, label: &'static str, items: u64, bytes: u64) {
+        let mut inner = self.inner.lock();
+        let stat = inner.stages.entry(label).or_default();
+        stat.items += items;
+        stat.bytes += bytes;
+    }
+
+    /// Read a stage's cumulative totals.
+    pub fn stage_stat(&self, label: &str) -> Option<StageStat> {
+        self.inner.lock().stages.get(label).copied()
+    }
+
     /// Fold one completed span into the call-tree aggregate for its
     /// full stack path.
     pub fn record_tree(
@@ -315,6 +338,13 @@ impl Registry {
         for (k, s) in &inner.spans {
             spans.insert(*k, s.summary());
         }
+        let mut stages = Map::new();
+        for (k, s) in &inner.stages {
+            let mut m = Map::new();
+            m.insert("items", Value::Int(i128::from(s.items)));
+            m.insert("bytes", Value::Int(i128::from(s.bytes)));
+            stages.insert(*k, Value::Object(m));
+        }
         let mut tree = Map::new();
         for (k, s) in &inner.tree {
             tree.insert(k.as_str(), s.summary());
@@ -324,6 +354,9 @@ impl Registry {
         out.insert("gauges", Value::Object(gauges));
         out.insert("histograms", Value::Object(histograms));
         out.insert("spans", Value::Object(spans));
+        if !stages.is_empty() {
+            out.insert("stages", Value::Object(stages));
+        }
         out.insert("tree", Value::Object(tree));
         Value::Object(out)
     }

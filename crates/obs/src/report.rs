@@ -109,6 +109,10 @@ impl RunReport {
         if alloc != Value::Null {
             m.insert("alloc", alloc);
         }
+        let latency = crate::hist::snapshot_value();
+        if latency != Value::Null {
+            m.insert("latency", latency);
+        }
         m.insert("metrics", crate::snapshot());
         Value::Object(m)
     }

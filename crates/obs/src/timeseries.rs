@@ -1,0 +1,533 @@
+//! Periodic time-series snapshots of the continuous-telemetry layer.
+//!
+//! [`start`] spins up a driver thread that, every `RSD_OBS_TICK_MS`
+//! milliseconds, drains the global event ring, folds stage-progress
+//! events into cumulative per-stage totals, and appends one NDJSON line
+//! to `bench_runs/<scale>/<bin>.series.ndjson`:
+//!
+//! ```json
+//! {"kind":"tick","tick":3,"t_ms":151.2,"window_ms":50.4,
+//!  "stages":{"pipeline.shards":{"items":12,"bytes":48211,
+//!            "items_per_s":238.1,"bytes_per_s":956430.0}},
+//!  "latency":{"pipeline.shard":{"count":12,"p50_ms":3.1,"p90_ms":4.0,
+//!             "p99_ms":4.4,"p999_ms":4.4,"max_ms":4.4}},
+//!  "alloc":{"live_bytes":104857,"peak_live_bytes":209715},
+//!  "ring":{"published":412,"dropped":0}}
+//! ```
+//!
+//! A **stall watchdog** rides the same tick: stages announced via
+//! [`crate::stage_register`] that report no progress for
+//! `RSD_OBS_STALL_TICKS` consecutive ticks (default 10) emit a
+//! `{"kind":"stall",...}` line (and an `obs.stall` NDJSON event) until
+//! they move again or call [`crate::stage_finish`].
+//!
+//! When `RSD_OBS_TRACE=1` the driver also retains drained events and,
+//! at [`SeriesGuard::finish`], renders them plus the span tree into a
+//! `chrome://tracing` / Perfetto-compatible
+//! `bench_runs/<scale>/<bin>.trace.json` (see [`crate::trace_export`]).
+//! The guard's drop finishes the driver, so a bench binary just holds it
+//! for the duration of the run.
+
+use crate::ring::{self, EventKind, RingEvent};
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default tick when only trace export is requested (the ring still
+/// needs a consumer).
+const TRACE_ONLY_TICK_MS: u64 = 200;
+/// Default stall threshold in ticks.
+const DEFAULT_STALL_TICKS: u32 = 10;
+/// Hard cap on retained trace events (64 bytes each → ≤ 64 MiB).
+const MAX_TRACE_EVENTS: usize = 1 << 20;
+
+/// Explicit driver options (tests construct these directly; binaries go
+/// through the env-reading [`start`]).
+#[derive(Debug, Clone)]
+pub struct SeriesOptions {
+    /// Snapshot period.
+    pub tick: Duration,
+    /// Where the NDJSON series goes (`None`: no series file, e.g. a
+    /// trace-only run).
+    pub series_path: Option<PathBuf>,
+    /// Where the Chrome trace goes (`None`: no trace export).
+    pub trace_path: Option<PathBuf>,
+    /// Consecutive no-progress ticks before a registered stage counts
+    /// as stalled.
+    pub stall_ticks: u32,
+}
+
+fn truthy(var: &str) -> bool {
+    std::env::var(var)
+        .map(|v| !(v.is_empty() || v == "0" || v == "off"))
+        .unwrap_or(false)
+}
+
+/// Read `RSD_OBS_TICK_MS` / `RSD_OBS_TRACE` / `RSD_OBS_STALL_TICKS` and
+/// start the driver for one bench binary. Returns `None` when neither a
+/// tick nor trace export is requested — the continuous layer then stays
+/// disarmed and hot paths pay a single atomic load.
+pub fn start(bin: &str, scale: &str) -> Option<SeriesGuard> {
+    let tick_ms: Option<u64> = std::env::var("RSD_OBS_TICK_MS")
+        .ok()
+        .filter(|v| !(v.is_empty() || v == "0" || v == "off"))
+        .and_then(|v| v.parse().ok());
+    let trace = truthy("RSD_OBS_TRACE");
+    if tick_ms.is_none() && !trace {
+        return None;
+    }
+    let dir = PathBuf::from("bench_runs").join(scale);
+    let opts = SeriesOptions {
+        tick: Duration::from_millis(tick_ms.unwrap_or(TRACE_ONLY_TICK_MS).max(1)),
+        series_path: tick_ms.map(|_| dir.join(format!("{bin}.series.ndjson"))),
+        trace_path: trace.then(|| dir.join(format!("{bin}.trace.json"))),
+        stall_ticks: std::env::var("RSD_OBS_STALL_TICKS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_STALL_TICKS),
+    };
+    Some(start_with(opts))
+}
+
+/// Start the driver with explicit options. Forces the registry on (a
+/// tick/trace request must produce data even without `RSD_OBS`) and arms
+/// the ring.
+pub fn start_with(opts: SeriesOptions) -> SeriesGuard {
+    crate::ensure_registry();
+    ring::set_armed(true);
+    let stop = Arc::new(StopFlag::default());
+    let driver_stop = Arc::clone(&stop);
+    let driver_opts = opts.clone();
+    let handle = std::thread::Builder::new()
+        .name("rsd-obs-series".to_string())
+        .spawn(move || drive(&driver_opts, &driver_stop))
+        .expect("spawn rsd-obs series driver");
+    SeriesGuard {
+        stop,
+        handle: Some(handle),
+        series_path: opts.series_path,
+        trace_path: opts.trace_path,
+    }
+}
+
+#[derive(Default)]
+struct StopFlag {
+    stopped: AtomicBool,
+    mutex: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl StopFlag {
+    fn signal(&self) {
+        self.stopped.store(true, Ordering::Release);
+        *self.mutex.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+
+    /// Wait one tick; returns true when stop was signalled.
+    fn wait(&self, tick: Duration) -> bool {
+        let guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
+        if *guard {
+            return true;
+        }
+        let (guard, _timeout) = self
+            .cv
+            .wait_timeout(guard, tick)
+            .unwrap_or_else(|e| e.into_inner());
+        *guard
+    }
+}
+
+/// Paths the finished driver wrote (present only when the corresponding
+/// export was requested and succeeded).
+#[derive(Debug, Default)]
+pub struct SeriesOutputs {
+    /// The `.series.ndjson` file.
+    pub series: Option<PathBuf>,
+    /// The `.trace.json` file.
+    pub trace: Option<PathBuf>,
+}
+
+/// Owns the driver thread. Dropping (or calling
+/// [`SeriesGuard::finish`]) stops the driver, writes a final snapshot
+/// line, exports the trace, publishes `obs.ring.*` gauges, and disarms
+/// the ring.
+pub struct SeriesGuard {
+    stop: Arc<StopFlag>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    series_path: Option<PathBuf>,
+    trace_path: Option<PathBuf>,
+}
+
+impl SeriesGuard {
+    /// Stop the driver and return what it wrote.
+    pub fn finish(mut self) -> SeriesOutputs {
+        self.shutdown();
+        SeriesOutputs {
+            series: self.series_path.take().filter(|p| p.is_file()),
+            trace: self.trace_path.take().filter(|p| p.is_file()),
+        }
+    }
+
+    fn shutdown(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.signal();
+        let _ = handle.join();
+        ring::set_armed(false);
+        let reg = crate::registry();
+        reg.gauge_set("obs.ring.published", ring::global().published() as f64);
+        reg.gauge_set("obs.ring.dropped", ring::global().dropped() as f64);
+    }
+}
+
+impl Drop for SeriesGuard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Per-stage state the driver folds ring events into.
+#[derive(Debug, Default, Clone)]
+struct StageState {
+    items: u64,
+    bytes: u64,
+    prev_items: u64,
+    prev_bytes: u64,
+    registered: bool,
+    finished: bool,
+    idle_ticks: u32,
+    stalled: bool,
+}
+
+struct Driver<'a> {
+    opts: &'a SeriesOptions,
+    writer: Option<std::io::BufWriter<std::fs::File>>,
+    trace: Option<Vec<RingEvent>>,
+    trace_truncated: u64,
+    stages: BTreeMap<&'static str, StageState>,
+    tick_idx: u64,
+    started: Instant,
+    last_tick: Instant,
+    /// Histogram generation the cached latency snapshot was taken at;
+    /// ticks where nothing new was recorded reuse the cache instead of
+    /// re-merging every stripe.
+    hist_gen: Option<u64>,
+    hist_cache: Value,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+impl Driver<'_> {
+    fn absorb(&mut self, event: RingEvent) {
+        match event.kind {
+            EventKind::StageProgress => {
+                let s = self.stages.entry(event.label).or_default();
+                s.items += event.a;
+                s.bytes += event.b;
+            }
+            EventKind::StageRegister => {
+                let s = self.stages.entry(event.label).or_default();
+                s.registered = true;
+                s.finished = false;
+            }
+            EventKind::StageFinish => {
+                let s = self.stages.entry(event.label).or_default();
+                s.finished = true;
+                s.stalled = false;
+            }
+            EventKind::SpanEnd | EventKind::Counter | EventKind::Gauge => {}
+        }
+        if let Some(buf) = &mut self.trace {
+            if buf.len() < MAX_TRACE_EVENTS {
+                buf.push(event);
+            } else {
+                self.trace_truncated += 1;
+            }
+        }
+    }
+
+    fn write_line(&mut self, value: &Value) {
+        if let Some(w) = &mut self.writer {
+            let _ = writeln!(w, "{}", value.to_json());
+        }
+    }
+
+    /// Drain the ring, emit one snapshot line, and run the watchdog.
+    fn tick(&mut self, kind: &str) {
+        let now = Instant::now();
+        let window = now.duration_since(self.last_tick);
+        self.last_tick = now;
+        let ring = ring::global();
+        let mut drained = Vec::new();
+        ring.drain(|e| drained.push(e));
+        for e in drained {
+            self.absorb(e);
+        }
+
+        let window_s = window.as_secs_f64().max(1e-9);
+        let mut stages = Map::new();
+        let mut stalls: Vec<&'static str> = Vec::new();
+        for (label, s) in self.stages.iter_mut() {
+            let d_items = s.items - s.prev_items;
+            let d_bytes = s.bytes - s.prev_bytes;
+            s.prev_items = s.items;
+            s.prev_bytes = s.bytes;
+            if s.registered && !s.finished {
+                if d_items == 0 && d_bytes == 0 {
+                    s.idle_ticks += 1;
+                    if s.idle_ticks >= self.opts.stall_ticks && !s.stalled {
+                        s.stalled = true;
+                        stalls.push(label);
+                    }
+                } else {
+                    s.idle_ticks = 0;
+                    s.stalled = false;
+                }
+            }
+            let mut m = Map::new();
+            m.insert("items", Value::Int(i128::from(s.items)));
+            m.insert("bytes", Value::Int(i128::from(s.bytes)));
+            m.insert("items_per_s", Value::Float(d_items as f64 / window_s));
+            m.insert("bytes_per_s", Value::Float(d_bytes as f64 / window_s));
+            stages.insert(*label, Value::Object(m));
+        }
+
+        let mut line = Map::new();
+        line.insert("kind", Value::String(kind.to_string()));
+        line.insert("tick", Value::Int(self.tick_idx as i128));
+        line.insert("t_ms", Value::Float(ms(self.started.elapsed())));
+        line.insert("window_ms", Value::Float(ms(window)));
+        if !stages.is_empty() {
+            line.insert("stages", Value::Object(stages));
+        }
+        let gen = crate::hist::generation();
+        if self.hist_gen != Some(gen) {
+            self.hist_cache = crate::hist::snapshot_value();
+            self.hist_gen = Some(gen);
+        }
+        if self.hist_cache != Value::Null {
+            line.insert("latency", self.hist_cache.clone());
+        }
+        if crate::alloc::active() {
+            let mut a = Map::new();
+            a.insert(
+                "live_bytes",
+                Value::Int(i128::from(crate::alloc::live_bytes())),
+            );
+            a.insert(
+                "peak_live_bytes",
+                Value::Int(i128::from(crate::alloc::peak_live_bytes())),
+            );
+            line.insert("alloc", Value::Object(a));
+        }
+        let mut r = Map::new();
+        r.insert("published", Value::Int(i128::from(ring.published())));
+        r.insert("dropped", Value::Int(i128::from(ring.dropped())));
+        line.insert("ring", Value::Object(r));
+        self.write_line(&Value::Object(line));
+
+        for label in stalls {
+            let idle = self.stages[label].idle_ticks;
+            let mut m = Map::new();
+            m.insert("kind", Value::String("stall".to_string()));
+            m.insert("stage", Value::String(label.to_string()));
+            m.insert("idle_ticks", Value::Int(i128::from(idle)));
+            m.insert("t_ms", Value::Float(ms(self.started.elapsed())));
+            self.write_line(&Value::Object(m));
+            crate::event(
+                "obs.stall",
+                &[
+                    ("stage", Value::String(label.to_string())),
+                    ("idle_ticks", Value::Int(i128::from(idle))),
+                ],
+            );
+        }
+
+        if let Some(w) = &mut self.writer {
+            let _ = w.flush();
+        }
+        self.tick_idx += 1;
+    }
+}
+
+fn drive(opts: &SeriesOptions, stop: &StopFlag) {
+    let writer = opts.series_path.as_ref().and_then(|path| {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::File::create(path)
+            .map(std::io::BufWriter::new)
+            .ok()
+    });
+    let now = Instant::now();
+    let mut driver = Driver {
+        opts,
+        writer,
+        trace: opts.trace_path.is_some().then(Vec::new),
+        trace_truncated: 0,
+        stages: BTreeMap::new(),
+        tick_idx: 0,
+        started: now,
+        last_tick: now,
+        hist_gen: None,
+        hist_cache: Value::Null,
+    };
+    loop {
+        let stopped = stop.wait(opts.tick);
+        if stopped {
+            break;
+        }
+        driver.tick("tick");
+    }
+    driver.tick("final");
+    if let (Some(path), Some(events)) = (&opts.trace_path, &driver.trace) {
+        if driver.trace_truncated > 0 {
+            crate::event(
+                "obs.trace.truncated",
+                &[("events", Value::Int(i128::from(driver.trace_truncated)))],
+            );
+        }
+        let tree = crate::registry().tree();
+        if let Err(e) = crate::trace_export::write_trace_to(path, events, &tree) {
+            eprintln!("rsd-obs: cannot write trace {}: {e}", path.display());
+        }
+    }
+}
+
+/// Summarize a `.series.ndjson` stream into a report-shaped JSON object
+/// (`obs_diff` accepts series files via this): the last `tick`/`final`
+/// snapshot's stages, latency quantiles, and ring counters, plus tick
+/// and stall totals. Malformed lines are a hard error.
+pub fn summarize_series(text: &str) -> Result<Value, String> {
+    let mut last: Option<Value> = None;
+    let mut ticks = 0u64;
+    let mut stalls = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("series line {}: invalid JSON: {e}", idx + 1))?;
+        match v.get("kind").and_then(Value::as_str) {
+            Some("tick") | Some("final") => {
+                ticks += 1;
+                last = Some(v);
+            }
+            Some("stall") => stalls += 1,
+            Some(other) => return Err(format!("series line {}: unknown kind {other:?}", idx + 1)),
+            None => return Err(format!("series line {}: missing kind", idx + 1)),
+        }
+    }
+    let last = last.ok_or_else(|| "series contains no snapshot lines".to_string())?;
+    let mut series = Map::new();
+    series.insert("ticks", Value::Int(i128::from(ticks)));
+    series.insert("stall_events", Value::Int(i128::from(stalls)));
+    for key in ["stages", "latency", "ring", "alloc"] {
+        if let Some(v) = last.get(key) {
+            series.insert(key, v.clone());
+        }
+    }
+    let mut out = Map::new();
+    out.insert("series", Value::Object(series));
+    Ok(Value::Object(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rsd-obs-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn driver_writes_wellformed_series_and_summary_parses() {
+        let series = temp_path("series.ndjson");
+        let trace = temp_path("trace.json");
+        let records = crate::capture(|| {
+            let guard = start_with(SeriesOptions {
+                tick: Duration::from_millis(5),
+                series_path: Some(series.clone()),
+                trace_path: Some(trace.clone()),
+                stall_ticks: 3,
+            });
+            crate::stage_register("ts.stage");
+            for _ in 0..10 {
+                let _s = crate::Span::enter("ts.span");
+                crate::stage_progress("ts.stage", 3, 128);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            crate::stage_finish("ts.stage");
+            std::thread::sleep(Duration::from_millis(20));
+            let out = guard.finish();
+            assert_eq!(out.series.as_deref(), Some(series.as_path()));
+            assert_eq!(out.trace.as_deref(), Some(trace.as_path()));
+        });
+        // Ring gauges published at finish.
+        let _ = records;
+        let text = std::fs::read_to_string(&series).expect("series file");
+        assert!(!text.trim().is_empty());
+        let summary = summarize_series(&text).expect("well-formed series");
+        let s = &summary["series"];
+        assert_eq!(s["stages"]["ts.stage"]["items"], 30u32);
+        assert_eq!(s["stages"]["ts.stage"]["bytes"], 1280u32);
+        assert_eq!(s["ring"]["dropped"], 0u32);
+        assert!(s["latency"]["ts.span"]["p99_ms"].as_f64().is_some());
+        assert!(s["latency"]["ts.span"]["p999_ms"].as_f64().is_some());
+        // The trace parses as JSON and contains span events.
+        let trace_text = std::fs::read_to_string(&trace).expect("trace file");
+        let parsed: Value = serde_json::from_str(&trace_text).expect("trace parses");
+        assert!(parsed["traceEvents"].as_array().is_some());
+        let _ = std::fs::remove_file(&series);
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn stall_watchdog_fires_for_idle_registered_stage() {
+        let series = temp_path("stall.ndjson");
+        crate::capture(|| {
+            let guard = start_with(SeriesOptions {
+                tick: Duration::from_millis(2),
+                series_path: Some(series.clone()),
+                trace_path: None,
+                stall_ticks: 2,
+            });
+            crate::stage_register("ts.stuck");
+            crate::stage_progress("ts.stuck", 1, 0);
+            std::thread::sleep(Duration::from_millis(40));
+            drop(guard);
+        });
+        let text = std::fs::read_to_string(&series).expect("series file");
+        let stall_lines: Vec<&str> = text.lines().filter(|l| l.contains("\"stall\"")).collect();
+        assert!(
+            !stall_lines.is_empty(),
+            "expected a stall event in:\n{text}"
+        );
+        // A stalled stage reports the stall once, not every tick.
+        assert_eq!(stall_lines.len(), 1, "stall repeated:\n{text}");
+        let _ = std::fs::remove_file(&series);
+    }
+
+    #[test]
+    fn summarize_rejects_malformed_lines() {
+        assert!(summarize_series("not json\n").is_err());
+        assert!(summarize_series("{\"kind\":\"mystery\"}\n").is_err());
+        assert!(summarize_series("").is_err());
+        let ok = summarize_series(
+            "{\"kind\":\"tick\",\"tick\":0,\"ring\":{\"published\":1,\"dropped\":0}}\n",
+        )
+        .unwrap();
+        assert_eq!(ok["series"]["ticks"], 1u32);
+    }
+}

@@ -10,11 +10,15 @@
 use crate::TreeStat;
 
 /// Render a call tree as folded lines (`path self_us\n`), sorted by
-/// path. Entries whose self-time rounds to zero microseconds are kept
+/// path so the output is byte-identical regardless of input order —
+/// diffable across runs and stable under parallel span collection.
+/// Entries whose self-time rounds to zero microseconds are kept
 /// (count 0 lines are legal and preserve tree structure for parsers).
 pub fn render_folded(tree: &[(String, TreeStat)]) -> String {
+    let mut ordered: Vec<&(String, TreeStat)> = tree.iter().collect();
+    ordered.sort_by(|a, b| a.0.cmp(&b.0));
     let mut out = String::new();
-    for (path, stat) in tree {
+    for (path, stat) in ordered {
         out.push_str(path);
         out.push(' ');
         out.push_str(&(stat.self_ns / 1_000).to_string());
@@ -90,6 +94,24 @@ mod tests {
                 ("a;b;leaf with space".to_string(), 0),
             ]
         );
+    }
+
+    #[test]
+    fn folded_output_is_sorted_golden() {
+        // Deliberately shuffled input: output must be byte-exact and
+        // path-sorted no matter how the tree slice was ordered.
+        let tree = vec![
+            ("pipeline;merge".to_string(), stat(2_000_000)),
+            ("bench".to_string(), stat(7_000_000)),
+            ("pipeline".to_string(), stat(4_000_000)),
+            ("bench;load".to_string(), stat(1_000_000)),
+        ];
+        let golden = "bench 7000\nbench;load 1000\npipeline 4000\npipeline;merge 2000\n";
+        assert_eq!(render_folded(&tree), golden);
+
+        let mut reversed = tree.clone();
+        reversed.reverse();
+        assert_eq!(render_folded(&reversed), golden);
     }
 
     #[test]

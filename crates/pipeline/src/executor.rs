@@ -104,6 +104,7 @@ where
     let total = plan.n_shards();
     let in_flight = cfg.shards_in_flight.max(1);
     rsd_obs::gauge("pipeline.shards_in_flight", in_flight as f64);
+    rsd_obs::stage_register("pipeline.shards");
     let limit = cfg.interrupt_after_shards.unwrap_or(usize::MAX);
 
     let mut folded = 0usize;
@@ -126,12 +127,16 @@ where
         // filled them first.
         rsd_par::parallel_chunks_mut(&mut slots, 1, |_, chunk| {
             for (spec, slot) in chunk.iter_mut() {
+                let t0 = std::time::Instant::now();
                 *slot = Some(task.run(spec, ckpt));
+                rsd_obs::latency_ns("pipeline.shard", t0.elapsed().as_nanos() as u64);
             }
         });
         for (spec, slot) in slots {
             let artifact = slot.expect("executor filled every slot")?;
+            let shard_users = spec.n_users() as u64;
             sink.accept(&spec, artifact)?;
+            rsd_obs::stage_progress("pipeline.shards", shard_users, 0);
             folded += 1;
         }
         rsd_obs::counter_add("pipeline.shards", wave as u64);
@@ -144,6 +149,7 @@ where
             "pipeline interrupted after {folded} of {total} shards"
         )));
     }
+    rsd_obs::stage_finish("pipeline.shards");
     Ok(folded)
 }
 

@@ -40,6 +40,34 @@ echo "==> obs_diff self-test (injected regressions must trip the gate)"
 cargo run --release -q -p rsd-bench --bin obs_diff -- --self-test \
     bench_runs/baseline/table1.report.json
 
+echo "==> table3 smoke + obs_diff gate (model quality vs committed baseline)"
+# Single-threaded to match how the committed baseline was generated;
+# quality leaves (accuracy, macro_f1) compare exactly, per-model
+# elapsed_ms under the usual time tolerance.
+RSD_SCALE=smoke RSD_THREADS=1 RSD_OBS="$obs_tmp/table3.ndjson" \
+    cargo run --release -q -p rsd-bench --bin table3 >"$obs_tmp/table3.out" 2>&1
+cargo run --release -q -p rsd-bench --bin obs_diff -- \
+    --time-tol "${OBS_DIFF_TIME_TOL:-0.15}" \
+    bench_runs/baseline/table3.report.json bench_runs/small/table3.report.json
+cargo run --release -q -p rsd-bench --bin obs_diff -- --self-test \
+    bench_runs/baseline/table3.report.json
+
+echo "==> continuous telemetry smoke (50ms ticks + chrome trace)"
+# The series must be well-formed NDJSON with zero ring drops at the
+# default capacity, the trace must parse with a non-empty traceEvents,
+# and the self-test must trip an injected tail-quantile drift derived
+# from the series itself.
+rm -f bench_runs/small/build_dataset.series.ndjson \
+    bench_runs/small/build_dataset.trace.json
+RSD_SCALE=smoke RSD_OBS_TICK_MS=50 RSD_OBS_TRACE=1 \
+    RSD_BUILD_OUT="$obs_tmp/telemetry.jsonl" \
+    cargo run --release -q -p rsd-bench --bin build_dataset >/dev/null
+cargo run --release -q -p rsd-bench --bin obs_top -- --check \
+    --trace bench_runs/small/build_dataset.trace.json \
+    bench_runs/small/build_dataset.series.ndjson
+cargo run --release -q -p rsd-bench --bin obs_diff -- --self-test \
+    bench_runs/small/build_dataset.series.ndjson
+
 echo "==> profiling smoke (RSD_OBS_PROFILE=1 emits a folded profile)"
 rm -f bench_runs/small/table1.folded
 RSD_SCALE=smoke RSD_OBS_PROFILE=1 \
