@@ -16,7 +16,7 @@
 
 use std::process::ExitCode;
 
-use rsd_bench::{seed_from_env, Scale, Telemetry};
+use rsd_bench::BinHarness;
 use rsd_common::RsdError;
 use rsd_dataset::{io, DatasetBuilder, StreamingOptions};
 
@@ -29,12 +29,10 @@ use rsd_dataset::{io, DatasetBuilder, StreamingOptions};
 static ALLOC: rsd_obs::alloc::CountingAlloc = rsd_obs::alloc::CountingAlloc::new();
 
 fn run() -> Result<ExitCode, RsdError> {
-    let scale = Scale::from_env();
-    let seed = seed_from_env();
-    let mut run = rsd_obs::RunReport::new("build_dataset", scale.name(), seed);
-    let mut telemetry = Telemetry::start("build_dataset", scale);
+    let mut h = BinHarness::start("build_dataset");
+    let scale = h.scale;
     let mode = std::env::var("RSD_BUILD_MODE").unwrap_or_else(|_| "stream".to_string());
-    let builder = DatasetBuilder::new(scale.build_config(seed));
+    let builder = DatasetBuilder::new(scale.build_config(h.seed));
 
     let dataset = match mode.as_str() {
         "batch" => {
@@ -92,14 +90,15 @@ fn run() -> Result<ExitCode, RsdError> {
         }
     }
 
-    run.set("mode", rsd_obs::Value::from(mode.as_str()))
+    h.run
+        .set("mode", rsd_obs::Value::from(mode.as_str()))
         .set("posts", rsd_obs::Value::Int(dataset.n_posts() as i128))
         .set("users", rsd_obs::Value::Int(dataset.n_users() as i128));
-    telemetry.finish();
+    // The allocator gauges must land after the final series snapshot but
+    // before the report's registry snapshot, hence the split finish.
+    h.finish_telemetry();
     rsd_obs::alloc::publish_gauges();
-    run.write_profile().map_err(RsdError::from)?;
-    run.write().map_err(RsdError::from)?;
-    rsd_obs::flush();
+    h.try_finish().map_err(RsdError::from)?;
     Ok(ExitCode::SUCCESS)
 }
 

@@ -3,12 +3,12 @@
 //! `rsd15k.meta.json` sidecar records provenance plus the run's telemetry
 //! (per-stage timings, counters, throughput) under `run_report`.
 
-use rsd_bench::{seed_from_env, Prepared, Scale};
+use rsd_bench::{BinHarness, Prepared};
 use rsd_dataset::{io, privacy};
 use rsd_obs::{Map, Value};
 
 fn main() {
-    let mut run = rsd_obs::RunReport::new("export", Scale::from_env().name(), seed_from_env());
+    let mut h = BinHarness::start("export");
     let prepared = Prepared::from_env();
     let audit = privacy::audit(&prepared.dataset);
     assert!(
@@ -25,7 +25,8 @@ fn main() {
     let file = std::fs::File::create(&csv).expect("create csv");
     io::to_csv(&prepared.dataset, file).expect("write csv");
 
-    run.set("posts", Value::Int(prepared.dataset.n_posts() as i128))
+    h.run
+        .set("posts", Value::Int(prepared.dataset.n_posts() as i128))
         .set("users", Value::Int(prepared.dataset.n_users() as i128))
         .set(
             "privacy_posts_scanned",
@@ -41,7 +42,7 @@ fn main() {
         f.insert("csv", Value::from(csv.as_str()));
         Value::Object(f)
     });
-    meta_obj.insert("run_report", run.to_value());
+    meta_obj.insert("run_report", h.run.to_value());
     std::fs::write(
         &meta,
         format!("{}\n", Value::Object(meta_obj).to_json_pretty()),
@@ -57,7 +58,5 @@ fn main() {
     println!("  {jsonl}");
     println!("  {csv}");
     println!("  {meta}");
-    run.write_profile().expect("write folded profile");
-    run.write().expect("write run report");
-    rsd_obs::flush();
+    h.finish();
 }

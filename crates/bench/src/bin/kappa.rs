@@ -1,12 +1,12 @@
 //! §II-C1: annotation consistency — Fleiss' kappa over the triple-annotated
 //! subset, plus the campaign audit trail.
 
-use rsd_bench::{seed_from_env, Prepared, Scale};
+use rsd_bench::{BinHarness, Prepared};
 use rsd_eval::kappa::interpret_kappa;
 use rsd_obs::Value;
 
 fn main() {
-    let mut run = rsd_obs::RunReport::new("kappa", Scale::from_env().name(), seed_from_env());
+    let mut h = BinHarness::start("kappa");
     let prepared = Prepared::from_env();
     let c = &prepared.report.campaign;
     println!(
@@ -55,11 +55,10 @@ fn main() {
         );
     }
 
-    run.set("fleiss_kappa", Value::Float(c.fleiss_kappa))
+    h.run
+        .set("fleiss_kappa", Value::Float(c.fleiss_kappa))
         .set("krippendorff_alpha", Value::Float(c.krippendorff_alpha))
         .set("adjudicated", Value::Int(c.adjudicated as i128))
         .set("days", Value::Int(c.days.len() as i128));
-    run.write_profile().expect("write folded profile");
-    run.write().expect("write run report");
-    rsd_obs::flush();
+    h.finish();
 }

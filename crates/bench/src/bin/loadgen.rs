@@ -1,0 +1,169 @@
+//! `loadgen` — replay the synthetic corpus through the `rsd-serve`
+//! online scorer at a fixed target QPS and publish latency/throughput.
+//!
+//! The whole dataset is streamed in global `(created, id)` order via a
+//! replayable [`VecSource`] (`RSD_LOADGEN_ROUNDS` rewinds and replays
+//! it), paced against absolute deadlines (`t0 + i/QPS`) so a slow
+//! stretch is caught up instead of silently stretching the run. Knobs:
+//!
+//! * `RSD_QPS` — target submissions per second (default 200).
+//! * `RSD_LOADGEN_ROUNDS` — times the corpus is replayed (default 1).
+//! * `RSD_SERVE_SHARDS` / `RSD_SERVE_LRU` / `RSD_SERVE_BATCH` /
+//!   `RSD_SERVE_CHANNEL_CAP` — service sizing ([`rsd_serve::ServeConfig`]).
+//!
+//! All invalid knob values hard-error naming the knob. With
+//! `RSD_OBS_TICK_MS` set, per-request latency lands in the
+//! `serve.request` HDR histogram and the time-series file; the run
+//! report carries the deterministic serving outcome (request and
+//! per-level counts, evictions) plus the achieved `scored_per_s`, so
+//! `obs_diff` gates both correctness drift and lost throughput. The
+//! report deliberately omits timing-dependent counts (micro-batch
+//! sizes, blocked submits) — those go to stderr.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rsd_bench::{table3_configs, BinHarness, Prepared};
+use rsd_corpus::RiskLevel;
+use rsd_models::ScoringModel;
+use rsd_obs::Value;
+use rsd_pipeline::{StreamSource, VecSource};
+use rsd_serve::{IncomingPost, RiskService, ServeConfig};
+
+/// The corpus in global chronological submission order.
+fn replay_stream(dataset: &rsd_dataset::Rsd15k) -> Vec<IncomingPost> {
+    let mut order: Vec<usize> = (0..dataset.posts.len()).collect();
+    order.sort_by_key(|&i| (dataset.posts[i].created, dataset.posts[i].id));
+    order
+        .into_iter()
+        .map(|i| {
+            let p = &dataset.posts[i];
+            IncomingPost {
+                user: p.user.0,
+                post: p.id.0,
+                created: p.created,
+                text: p.text.clone(),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let mut h = BinHarness::start("loadgen");
+    let qps = rsd_obs::knob::positive_or_default("RSD_QPS", std::env::var("RSD_QPS").ok(), 200);
+    let rounds = rsd_obs::knob::positive_or_default(
+        "RSD_LOADGEN_ROUNDS",
+        std::env::var("RSD_LOADGEN_ROUNDS").ok(),
+        1,
+    );
+    let serve_cfg = ServeConfig::from_env().expect("serve config");
+
+    let prepared = Prepared::from_env();
+    let model = {
+        let _s = rsd_obs::Span::enter("loadgen.fit");
+        let cfg = table3_configs(prepared.scale).xgboost;
+        Arc::new(ScoringModel::fit(&cfg, &prepared.bench_data()).expect("fit scoring model"))
+    };
+    // The serving phase owns the latency story: drop the fit-phase
+    // histograms (training rounds, feature batches) so the report and
+    // series quantiles describe requests only.
+    rsd_obs::hist::reset();
+
+    let posts = replay_stream(&prepared.dataset);
+    let per_round = posts.len() as u64;
+    let total = per_round * rounds;
+    eprintln!(
+        "loadgen: {} posts x {} round(s) at {} QPS (shards {}, lru {}, batch {})",
+        per_round, rounds, qps, serve_cfg.shards, serve_cfg.lru_capacity, serve_cfg.batch_max
+    );
+
+    let service = RiskService::start(Arc::clone(&model), serve_cfg);
+    let results = service.results();
+    let consumer = thread::spawn(move || {
+        let mut levels = [0u64; RiskLevel::COUNT];
+        while let Some(scored) = results.recv() {
+            levels[scored.level.index()] += 1;
+        }
+        levels
+    });
+
+    let mut source = VecSource::new("loadgen.replay", posts);
+    let t0 = Instant::now();
+    let mut sent = 0u64;
+    for round in 0..rounds {
+        if round > 0 {
+            source.rewind();
+        }
+        while let Some(post) = source.next().expect("replay source") {
+            let deadline = t0 + Duration::from_secs_f64(sent as f64 / qps as f64);
+            let wait = deadline.saturating_duration_since(Instant::now());
+            if !wait.is_zero() {
+                thread::sleep(wait);
+            }
+            service.submit(post).expect("service draining early");
+            sent += 1;
+        }
+    }
+    let report = service.drain();
+    let elapsed = t0.elapsed();
+    let levels = consumer.join().expect("result consumer panicked");
+    assert_eq!(report.scored, total, "every submitted post must score");
+    assert_eq!(levels.iter().sum::<u64>(), total, "every score must emit");
+
+    let achieved = report.scored as f64 / elapsed.as_secs_f64();
+    println!(
+        "loadgen: scored {} posts in {:.2}s — {:.1}/s achieved vs {} QPS target",
+        report.scored,
+        elapsed.as_secs_f64(),
+        achieved,
+        qps
+    );
+    let hists = rsd_obs::hist::merged();
+    if let Some(hist) = hists.get("serve.request") {
+        let ms = |q: f64| hist.quantile(q).unwrap_or(0) as f64 / 1e6;
+        println!(
+            "loadgen: request latency p50 {:.3}ms p90 {:.3}ms p99 {:.3}ms",
+            ms(0.50),
+            ms(0.90),
+            ms(0.99)
+        );
+    }
+    for (level, count) in RiskLevel::ALL.iter().zip(levels) {
+        println!("  {:<10} {:>8}", level.name(), count);
+    }
+    eprintln!(
+        "loadgen: {} micro-batches (max {}), {} blocked submits, \
+         {} evicted / peak {} resident users",
+        report.batches,
+        report.max_batch,
+        report.blocked_submits,
+        report.evicted_users,
+        report.peak_resident_users
+    );
+
+    let mut level_map = rsd_obs::Map::new();
+    for (level, count) in RiskLevel::ALL.iter().zip(levels) {
+        level_map.insert(level.name(), Value::Int(count as i128));
+    }
+    h.run
+        .set("qps", Value::Int(qps as i128))
+        .set("rounds", Value::Int(rounds as i128))
+        .set("posts", Value::Int(total as i128))
+        .set("users", Value::Int(prepared.dataset.n_users() as i128))
+        .set("levels", Value::Object(level_map))
+        .set("evicted_users", Value::Int(report.evicted_users as i128))
+        .set(
+            "peak_resident_users",
+            Value::Int(report.peak_resident_users as i128),
+        )
+        .set("scored_per_s", Value::Float(achieved));
+
+    // Let the series driver observe a quiescent window before the final
+    // snapshot: windowed stage rates must read exactly 0.0 there, or the
+    // committed-baseline series diff would compare mid-flight rates.
+    if let Some(tick_ms) = rsd_obs::knob::optional_positive_env("RSD_OBS_TICK_MS") {
+        thread::sleep(Duration::from_millis(2 * tick_ms + 50));
+    }
+    h.finish();
+}

@@ -1,13 +1,11 @@
 //! Table I: class distribution of the built dataset.
 
-use rsd_bench::{seed_from_env, Prepared, Scale, Telemetry};
+use rsd_bench::{BinHarness, Prepared};
 use rsd_dataset::stats::class_distribution;
 use rsd_obs::Value;
 
 fn main() {
-    let scale = Scale::from_env();
-    let mut run = rsd_obs::RunReport::new("table1", scale.name(), seed_from_env());
-    let mut telemetry = Telemetry::start("table1", scale);
+    let mut h = BinHarness::start("table1");
     let prepared = Prepared::from_env();
     println!(
         "Table I — Data Distribution (scale {:?}, seed {})",
@@ -30,10 +28,8 @@ fn main() {
     println!();
     println!("Paper reference: Attempt 809 (5.54%), Behavior 2056 (14.07%), Ideation 7133 (48.81%), Indicator 4615 (31.58%), total 14,613");
 
-    run.set("posts", Value::Int(prepared.dataset.n_posts() as i128))
+    h.run
+        .set("posts", Value::Int(prepared.dataset.n_posts() as i128))
         .set("users", Value::Int(prepared.dataset.n_users() as i128));
-    telemetry.finish();
-    run.write_profile().expect("write folded profile");
-    run.write().expect("write run report");
-    rsd_obs::flush();
+    h.finish();
 }

@@ -8,14 +8,12 @@
 
 use std::time::Instant;
 
-use rsd_bench::{seed_from_env, table3_configs, Prepared, Scale, Telemetry};
+use rsd_bench::{table3_configs, BinHarness, Prepared};
 use rsd_models::{BiLstmBaseline, HiGruBaseline, PlmBaseline, XgboostBaseline};
 use rsd_obs::Value;
 
 fn main() {
-    let scale = Scale::from_env();
-    let mut run = rsd_obs::RunReport::new("table3", scale.name(), seed_from_env());
-    let mut telemetry = Telemetry::start("table3", scale);
+    let mut h = BinHarness::start("table3");
     let prepared = Prepared::from_env();
     let data = prepared.bench_data();
     let cfgs = table3_configs(prepared.scale);
@@ -107,10 +105,8 @@ fn main() {
          RoBERTa 71.0/65.0, DeBERTa 76.0/77.0 (Acc%/MacF1%)"
     );
 
-    run.set("selected", Value::from(selected.as_str()))
+    h.run
+        .set("selected", Value::from(selected.as_str()))
         .set("models", Value::Array(model_rows));
-    telemetry.finish();
-    run.write_profile().expect("write folded profile");
-    run.write().expect("write run report");
-    rsd_obs::flush();
+    h.finish();
 }

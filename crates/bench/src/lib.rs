@@ -131,6 +131,64 @@ impl Telemetry {
     }
 }
 
+/// One-stop lifecycle for a report-writing bench binary: parses
+/// scale/seed, opens the [`rsd_obs::RunReport`], and starts continuous
+/// telemetry — in the order every binary needs them. Binaries `set`
+/// result fields on [`BinHarness::run`] and call [`BinHarness::finish`]
+/// last, which stops the driver *before* the report write so the final
+/// ring gauges and latency quantiles land in the registry snapshot.
+pub struct BinHarness {
+    /// The run report for this invocation; `set` result fields on it.
+    /// Public so binaries can also embed [`rsd_obs::RunReport::to_value`]
+    /// into their own artifacts (the export sidecar does).
+    pub run: rsd_obs::RunReport,
+    /// Scale parsed from `RSD_SCALE`.
+    pub scale: Scale,
+    /// Seed parsed from `RSD_SEED`.
+    pub seed: u64,
+    telemetry: Telemetry,
+}
+
+impl BinHarness {
+    /// Start the harness for binary `bin`.
+    pub fn start(bin: &'static str) -> BinHarness {
+        let scale = Scale::from_env();
+        let seed = seed_from_env();
+        let run = rsd_obs::RunReport::new(bin, scale.name(), seed);
+        let telemetry = Telemetry::start(bin, scale);
+        BinHarness {
+            run,
+            scale,
+            seed,
+            telemetry,
+        }
+    }
+
+    /// Stop the telemetry driver ahead of [`BinHarness::finish`].
+    /// Idempotent. For binaries where late work (e.g. allocator gauge
+    /// publication) must land between the final series snapshot and the
+    /// report write.
+    pub fn finish_telemetry(&mut self) {
+        self.telemetry.finish();
+    }
+
+    /// Finish telemetry, write the folded profile and run report, and
+    /// flush the NDJSON sink. Panics on I/O errors — the right default
+    /// for the table binaries.
+    pub fn finish(self) {
+        self.try_finish().expect("write run report");
+    }
+
+    /// Fallible [`BinHarness::finish`] for binaries that bubble errors.
+    pub fn try_finish(mut self) -> std::io::Result<()> {
+        self.telemetry.finish();
+        self.run.write_profile()?;
+        self.run.write()?;
+        rsd_obs::flush();
+        Ok(())
+    }
+}
+
 /// A prepared experiment environment.
 pub struct Prepared {
     /// The built dataset.

@@ -18,6 +18,10 @@
 //! * [`io`] — JSON-lines round-trip and CSV export.
 //! * [`stats`] — Table I (class distribution), Fig. 1 (posts per user),
 //!   Figs. 2–3 (per-class word frequencies), Fig. 4 (top-20 active users).
+//! * [`window_store`] — the shared latest-`W` window-selection state:
+//!   [`WindowBuffer`] (one user's trailing window, identical to the batch
+//!   tail-slice selection) and the sharded LRU [`UserWindowStore`] the
+//!   online serving path keys its per-user state on.
 //! * [`compare`] — Table II (comparison with prior datasets).
 //! * [`trajectory`] — risk-evolution analytics (transition matrices,
 //!   escalation events, per-user severity trends).
@@ -32,8 +36,10 @@ pub mod splits;
 pub mod stats;
 pub mod stream;
 pub mod trajectory;
+pub mod window_store;
 
 pub use builder::{BuildConfig, BuildReport, DatasetBuilder};
 pub use record::{Post, Rsd15k, UserRecord};
 pub use splits::{DatasetSplits, SplitConfig, UserWindow};
 pub use stream::{StreamingBuild, StreamingOptions};
+pub use window_store::{StoreItem, UserWindowStore, WindowBuffer, WindowEntry};

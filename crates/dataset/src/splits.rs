@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::record::{Rsd15k, UserRecord};
+use crate::window_store::WindowBuffer;
 use rsd_common::rng::{shuffle, stream_rng};
 use rsd_common::{Result, RsdError, Timestamp};
 use rsd_corpus::{RiskLevel, UserId};
@@ -256,17 +257,31 @@ pub fn final_post_quantile(dataset: &Rsd15k, frac: f64) -> Timestamp {
 }
 
 /// Extract the last `window` posts of a user as a task instance.
+///
+/// Selection runs through the shared [`WindowBuffer`] — the same
+/// incremental top-`W` by `(created, post id)` state the online serving
+/// path keys its per-user store on — so the batch benchmark and the
+/// service cannot drift. Because the builder sorts each timeline by
+/// exactly that key, the buffer's retained set equals the timeline's
+/// tail slice byte-for-byte.
 pub fn extract_window(dataset: &Rsd15k, user: &UserRecord, window: usize) -> UserWindow {
-    let n = user.post_indices.len();
-    let start = n.saturating_sub(window);
-    let post_indices: Vec<usize> = user.post_indices[start..].to_vec();
-    let timestamps: Vec<Timestamp> = post_indices
-        .iter()
-        .map(|&i| dataset.posts[i].created)
-        .collect();
+    let mut buf: WindowBuffer<usize> = WindowBuffer::new(window);
+    for &i in &user.post_indices {
+        let post = &dataset.posts[i];
+        buf.observe(post.created, post.id.0, i);
+    }
+    window_from_buffer(dataset, user.id, &buf)
+}
+
+/// Materialize a [`UserWindow`] from a user's trailing-window buffer
+/// (payload = post index). Shared by [`extract_window`] and by tests
+/// that rebuild windows from the serving-side store.
+pub fn window_from_buffer(dataset: &Rsd15k, user: UserId, buf: &WindowBuffer<usize>) -> UserWindow {
+    let post_indices: Vec<usize> = buf.entries().iter().map(|e| e.payload).collect();
+    let timestamps: Vec<Timestamp> = buf.timestamps();
     let label = dataset.posts[*post_indices.last().expect("validated: non-empty")].label;
     UserWindow {
-        user: user.id,
+        user,
         post_indices,
         timestamps,
         label,

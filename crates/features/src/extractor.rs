@@ -3,10 +3,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::sequence::{sequence_features, SEQUENCE_FEATURE_NAMES};
-use crate::text::{text_features, TEXT_FEATURE_NAMES};
-use crate::time::{time_features, TIME_FEATURE_NAMES};
-use rsd_common::{Result, RsdError};
+use crate::sequence::{sequence_features_into, SEQUENCE_FEATURE_NAMES};
+use crate::text::{text_features_into, TEXT_FEATURE_NAMES};
+use crate::time::{time_features_into, TIME_FEATURE_NAMES};
+use rsd_common::{Result, RsdError, Timestamp};
 use rsd_dataset::{Rsd15k, UserWindow};
 use rsd_text::embeddings::WordEmbeddings;
 use rsd_text::TfIdfVectorizer;
@@ -104,6 +104,16 @@ impl FeatureExtractor {
 
     /// Extract the dense feature vector for one window.
     pub fn transform(&self, dataset: &Rsd15k, window: &UserWindow) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dim());
+        self.transform_into(dataset, window, &mut out);
+        out
+    }
+
+    /// [`transform`](FeatureExtractor::transform) into a caller-owned
+    /// buffer (cleared first). Reusing one buffer across calls is what
+    /// the micro-batched scoring path does to avoid per-request
+    /// allocation.
+    pub fn transform_into(&self, dataset: &Rsd15k, window: &UserWindow, out: &mut Vec<f32>) {
         let texts: Vec<&str> = window
             .post_indices
             .iter()
@@ -114,21 +124,37 @@ impl FeatureExtractor {
             .iter()
             .find(|u| u.id == window.user)
             .map_or(window.post_indices.len(), |u| u.post_indices.len());
+        self.transform_stream_into(&texts, &window.timestamps, total_posts, out);
+    }
 
-        let mut out = time_features(&window.timestamps);
-        out.extend(text_features(&texts));
-        out.extend(sequence_features(&texts, total_posts));
+    /// The inference-only entry point: featurize a window given directly
+    /// as `(texts, timestamps, total_posts)` — no dataset lookup, no
+    /// `UserWindow` materialization. This is what the serving path calls
+    /// with state reconstructed from its per-user window store;
+    /// `total_posts` is the store's `total_seen` count. Bit-identical to
+    /// [`transform`](FeatureExtractor::transform) for the same window.
+    pub fn transform_stream_into(
+        &self,
+        texts: &[&str],
+        timestamps: &[Timestamp],
+        total_posts: usize,
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        time_features_into(timestamps, out);
+        text_features_into(texts, out);
+        sequence_features_into(texts, total_posts, out);
 
-        let sparse = self.tfidf.transform(last_text(dataset, window));
-        let mut dense = vec![0.0f32; self.tfidf.dim()];
+        let last = texts.last().copied().unwrap_or("");
+        let sparse = self.tfidf.transform(last);
+        let base = out.len();
+        out.resize(base + self.tfidf.dim(), 0.0);
         for (&i, &v) in sparse.indices.iter().zip(&sparse.values) {
-            dense[i as usize] = v;
+            out[base + i as usize] = v;
         }
-        out.extend(dense);
         if let Some(emb) = &self.embeddings {
-            out.extend(emb.embed_document(last_text(dataset, window)));
+            out.extend(emb.embed_document(last));
         }
-        out
     }
 
     /// Batch transform.

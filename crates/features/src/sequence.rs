@@ -20,6 +20,14 @@ pub const SEQUENCE_FEATURE_NAMES: &[&str] = &[
 /// * `texts` — the window's cleaned texts, chronological.
 /// * `total_posts` — the user's full history length (cumulative feature).
 pub fn sequence_features(texts: &[&str], total_posts: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(SEQUENCE_FEATURE_NAMES.len());
+    sequence_features_into(texts, total_posts, &mut out);
+    out
+}
+
+/// [`sequence_features`] appended into a caller-owned buffer — the
+/// allocation-free variant the serving path's scratch buffers use.
+pub fn sequence_features_into(texts: &[&str], total_posts: usize, out: &mut Vec<f32>) {
     let lens: Vec<f64> = texts.iter().map(|t| token_count(t) as f64).collect();
     let hits: Vec<f64> = texts.iter().map(|t| theme_hits(t) as f64).collect();
 
@@ -34,14 +42,14 @@ pub fn sequence_features(texts: &[&str], total_posts: usize) -> Vec<f32> {
     // for escalating risk language across the window.
     let escalation_steps = hits.windows(2).filter(|w| w[1] > w[0]).count() as f64;
 
-    vec![
+    out.extend_from_slice(&[
         texts.len() as f32,
         total_posts as f32,
         linear_trend(&lens) as f32,
         linear_trend(&hits) as f32,
         last_jaccard as f32,
         escalation_steps as f32,
-    ]
+    ]);
 }
 
 /// Token-set Jaccard similarity of two cleaned texts.

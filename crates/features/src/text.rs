@@ -25,6 +25,14 @@ const NEGATIONS: &[&str] = &["not", "never", "no", "don't", "cannot", "can't", "
 /// Extract dense text features from the window's cleaned post texts
 /// (chronological; last = the labelled post).
 pub fn text_features(texts: &[&str]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(TEXT_FEATURE_NAMES.len());
+    text_features_into(texts, &mut out);
+    out
+}
+
+/// [`text_features`] appended into a caller-owned buffer — the
+/// allocation-free variant the serving path's scratch buffers use.
+pub fn text_features_into(texts: &[&str], out: &mut Vec<f32>) {
     let token_lists: Vec<Vec<&str>> = texts.iter().map(|t| tokenize(t)).collect();
     let lens: Vec<f64> = token_lists.iter().map(|t| t.len() as f64).collect();
     let len_mean = mean(&lens);
@@ -53,7 +61,7 @@ pub fn text_features(texts: &[&str]) -> Vec<f32> {
     let theme_total: f64 = texts.iter().map(|t| theme_hits(t) as f64).sum();
     let theme_last = texts.last().map_or(0.0, |t| theme_hits(t) as f64);
 
-    vec![
+    out.extend_from_slice(&[
         len_mean as f32,
         std_dev(&lens) as f32,
         len_last as f32,
@@ -63,7 +71,7 @@ pub fn text_features(texts: &[&str]) -> Vec<f32> {
         negations as f32,
         theme_total as f32,
         theme_last as f32,
-    ]
+    ]);
 }
 
 #[cfg(test)]

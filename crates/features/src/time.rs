@@ -24,6 +24,14 @@ pub const TIME_FEATURE_NAMES: &[&str] = &[
 
 /// Extract time features from the window's timestamps (chronological).
 pub fn time_features(timestamps: &[Timestamp]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(TIME_FEATURE_NAMES.len());
+    time_features_into(timestamps, &mut out);
+    out
+}
+
+/// [`time_features`] appended into a caller-owned buffer — the
+/// allocation-free variant the serving path's scratch buffers use.
+pub fn time_features_into(timestamps: &[Timestamp], out: &mut Vec<f32>) {
     let n = timestamps.len();
     let gaps: Vec<f64> = timestamps
         .windows(2)
@@ -50,7 +58,7 @@ pub fn time_features(timestamps: &[Timestamp]) -> Vec<f32> {
         n as f64
     };
 
-    vec![
+    out.extend_from_slice(&[
         gap_mean as f32,
         std_dev(&gaps) as f32,
         gaps.iter()
@@ -69,7 +77,7 @@ pub fn time_features(timestamps: &[Timestamp]) -> Vec<f32> {
         std_dev(&hours) as f32,
         span_days as f32,
         posts_per_day as f32,
-    ]
+    ]);
 }
 
 trait PipeZero {

@@ -24,6 +24,9 @@
 //!   macro-F1, deterministic seeding.
 //! * [`scale`] — the Table IV data-scale study (Large+tuning on 500 users
 //!   vs Base+defaults on the full set).
+//! * [`scorer`] — the inference-only [`ScoringModel`]: the XGBoost
+//!   baseline's fitted extractor + booster with reusable scratch buffers
+//!   and a streaming entry point; the artifact `rsd-serve` scores with.
 
 pub mod bilstm;
 pub mod encoding;
@@ -32,6 +35,7 @@ pub mod logreg;
 pub mod plm;
 pub mod pretrain;
 pub mod scale;
+pub mod scorer;
 pub mod trainer;
 pub mod xgboost;
 
@@ -40,5 +44,6 @@ pub use encoding::{EncodedWindow, TaskEncoder, TIME_FEATURE_DIM};
 pub use higru::{HiGruBaseline, HiGruConfig};
 pub use logreg::{LogRegBaseline, LogRegConfig};
 pub use plm::{PlmBaseline, PlmConfig, PlmKind};
+pub use scorer::{ScoreScratch, ScoringModel};
 pub use trainer::{BenchData, EvalOutcome, TrainConfig};
 pub use xgboost::{XgboostBaseline, XgboostConfig};

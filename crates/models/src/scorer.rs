@@ -1,0 +1,190 @@
+//! The inference-only scoring entry point: a fitted feature extractor +
+//! booster pair with no training tape, reusable feature scratch buffers,
+//! and a micro-batched batch API on the `rsd-par` pool.
+//!
+//! [`ScoringModel::fit`] is the *exact* training path of the table-3
+//! XGBoost baseline (same augmentation, TF-IDF fit, binning, early
+//! stopping, seed), factored out of
+//! [`XgboostBaseline::run`](crate::xgboost::XgboostBaseline) so the batch
+//! benchmark and the online serving path share one fitted artifact.
+//! Per-row prediction reads raw feature rows
+//! ([`Booster::predict_row`]), so [`score_windows`] over the test split
+//! is bit-identical to the baseline's `predict` over the binned test
+//! matrix.
+//!
+//! [`score_windows`]: ScoringModel::score_windows
+
+use rsd_common::{Result, Timestamp};
+use rsd_dataset::{Rsd15k, UserWindow};
+use rsd_features::FeatureExtractor;
+use rsd_gbdt::{BinnedMatrix, Booster};
+
+use crate::trainer::{augment_train_windows, BenchData};
+use crate::xgboost::XgboostConfig;
+
+/// Reusable per-worker scratch for streaming scoring: one feature row,
+/// reused across requests to avoid per-request allocation.
+#[derive(Default)]
+pub struct ScoreScratch {
+    row: Vec<f32>,
+}
+
+/// A fitted extractor + booster pair, stripped to what inference needs.
+pub struct ScoringModel {
+    extractor: FeatureExtractor,
+    booster: Booster,
+    window: usize,
+}
+
+impl ScoringModel {
+    /// Fit on the bench data — the table-3 XGBoost training path,
+    /// verbatim: post-level augmentation of the train split, TF-IDF fit
+    /// on the augmented windows, 64-bin histograms, early stopping on
+    /// the validation split, seed from the bench data.
+    pub fn fit(cfg: &XgboostConfig, data: &BenchData<'_>) -> Result<ScoringModel> {
+        let mut cfg = cfg.clone();
+        cfg.booster.seed = data.seed;
+
+        let train_windows = augment_train_windows(
+            data.dataset,
+            &data.splits.train,
+            data.splits.config.window,
+            cfg.post_level_cap,
+        );
+        let extractor = FeatureExtractor::fit(data.dataset, &train_windows, cfg.max_tfidf)?;
+        let x_train = extractor.transform_all(data.dataset, &train_windows);
+        let y_train: Vec<usize> = train_windows.iter().map(|w| w.label.index()).collect();
+        let x_valid = extractor.transform_all(data.dataset, &data.splits.valid);
+        let y_valid: Vec<usize> = data.splits.valid.iter().map(|w| w.label.index()).collect();
+
+        let train = BinnedMatrix::fit(x_train, 64)?;
+        let valid = train.transform(x_valid)?;
+        let booster = Booster::fit(&train, &y_train, Some((&valid, &y_valid)), cfg.booster)?;
+
+        Ok(ScoringModel {
+            extractor,
+            booster,
+            window: data.splits.config.window,
+        })
+    }
+
+    /// The fitted feature extractor.
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// The fitted booster.
+    pub fn booster(&self) -> &Booster {
+        &self.booster
+    }
+
+    /// The window size the model was fitted for.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Score a batch of windows, micro-batched on the `rsd-par` pool
+    /// with one reused scratch row per chunk. Returns predicted class
+    /// indices, aligned with `windows`. Per-row work is self-contained,
+    /// so results are bit-identical across thread counts and chunk
+    /// boundaries — and identical to the baseline's binned-matrix
+    /// `predict`, which also reads raw rows.
+    pub fn score_windows(&self, dataset: &Rsd15k, windows: &[UserWindow]) -> Vec<usize> {
+        let mut preds = vec![0usize; windows.len()];
+        rsd_par::parallel_chunks_mut(&mut preds, 16, |start, chunk| {
+            let mut scratch = ScoreScratch::default();
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let w = &windows[start + off];
+                self.extractor.transform_into(dataset, w, &mut scratch.row);
+                *slot = self.booster.predict_row(&scratch.row);
+            }
+        });
+        preds
+    }
+
+    /// Score one streaming request: the caller supplies the window
+    /// reconstructed from its per-user state (`texts`/`timestamps`
+    /// chronological, `total_posts` = posts ever seen for the user) and
+    /// a reusable scratch. Returns the predicted class index.
+    pub fn score_stream(
+        &self,
+        texts: &[&str],
+        timestamps: &[Timestamp],
+        total_posts: usize,
+        scratch: &mut ScoreScratch,
+    ) -> usize {
+        self.extractor
+            .transform_stream_into(texts, timestamps, total_posts, &mut scratch.row);
+        self.booster.predict_row(&scratch.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsd_dataset::{BuildConfig, DatasetBuilder, DatasetSplits, SplitConfig};
+    use rsd_gbdt::BoosterConfig;
+
+    fn small_cfg() -> XgboostConfig {
+        XgboostConfig {
+            max_tfidf: 80,
+            post_level_cap: 3,
+            booster: BoosterConfig {
+                n_classes: 4,
+                n_rounds: 12,
+                early_stopping: 0,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn stream_scoring_matches_batch_scoring() {
+        let (dataset, _) = DatasetBuilder::new(BuildConfig::scaled(31, 2_000, 40))
+            .build()
+            .unwrap();
+        let splits = DatasetSplits::new(&dataset, SplitConfig::default()).unwrap();
+        let data = BenchData {
+            dataset: &dataset,
+            splits: &splits,
+            unlabeled: &[],
+            seed: 31,
+        };
+        let model = ScoringModel::fit(&small_cfg(), &data).unwrap();
+        let batch = model.score_windows(&dataset, &splits.test);
+        let mut scratch = ScoreScratch::default();
+        for (w, &expect) in splits.test.iter().zip(&batch) {
+            let texts: Vec<&str> = w
+                .post_indices
+                .iter()
+                .map(|&i| dataset.posts[i].text.as_str())
+                .collect();
+            let total = dataset
+                .users
+                .iter()
+                .find(|u| u.id == w.user)
+                .map(|u| u.post_indices.len())
+                .unwrap();
+            let got = model.score_stream(&texts, &w.timestamps, total, &mut scratch);
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn score_windows_is_thread_count_invariant() {
+        let (dataset, _) = DatasetBuilder::new(BuildConfig::scaled(32, 2_000, 40))
+            .build()
+            .unwrap();
+        let splits = DatasetSplits::new(&dataset, SplitConfig::default()).unwrap();
+        let data = BenchData {
+            dataset: &dataset,
+            splits: &splits,
+            unlabeled: &[],
+            seed: 32,
+        };
+        let model = ScoringModel::fit(&small_cfg(), &data).unwrap();
+        let t1 = rsd_par::with_local_pool(1, || model.score_windows(&dataset, &splits.test));
+        let t4 = rsd_par::with_local_pool(4, || model.score_windows(&dataset, &splits.test));
+        assert_eq!(t1, t4);
+    }
+}

@@ -5,10 +5,11 @@
 use rsd_common::Result;
 use rsd_corpus::RiskLevel;
 use rsd_eval::ConfusionMatrix;
-use rsd_features::{FeatureDimension, FeatureExtractor};
-use rsd_gbdt::{BinnedMatrix, Booster, BoosterConfig};
+use rsd_features::FeatureDimension;
+use rsd_gbdt::BoosterConfig;
 
-use crate::trainer::{augment_train_windows, outcome_from_confusion, BenchData, EvalOutcome};
+use crate::scorer::ScoringModel;
+use crate::trainer::{outcome_from_confusion, BenchData, EvalOutcome};
 
 /// XGBoost baseline hyperparameters.
 #[derive(Debug, Clone)]
@@ -49,33 +50,18 @@ impl XgboostBaseline {
     }
 
     /// Train on the bench data and evaluate on its test split.
+    ///
+    /// Training and inference both run through the shared
+    /// [`ScoringModel`] — the same artifact the online serving path
+    /// scores with — so batch evaluation and serving cannot drift.
     pub fn run(&self, data: &BenchData<'_>) -> Result<EvalOutcome> {
-        let mut cfg = self.cfg.clone();
-        cfg.booster.seed = data.seed;
-
-        let train_windows = augment_train_windows(
-            data.dataset,
-            &data.splits.train,
-            data.splits.config.window,
-            cfg.post_level_cap,
-        );
-        let extractor = FeatureExtractor::fit(data.dataset, &train_windows, cfg.max_tfidf)?;
-        let x_train = extractor.transform_all(data.dataset, &train_windows);
-        let y_train: Vec<usize> = train_windows.iter().map(|w| w.label.index()).collect();
-        let x_valid = extractor.transform_all(data.dataset, &data.splits.valid);
-        let y_valid: Vec<usize> = data.splits.valid.iter().map(|w| w.label.index()).collect();
-        let x_test = extractor.transform_all(data.dataset, &data.splits.test);
+        let model = ScoringModel::fit(&self.cfg, data)?;
         let y_test: Vec<usize> = data.splits.test.iter().map(|w| w.label.index()).collect();
-
-        let train = BinnedMatrix::fit(x_train, 64)?;
-        let valid = train.transform(x_valid)?;
-        let test = train.transform(x_test)?;
-
-        let booster = Booster::fit(&train, &y_train, Some((&valid, &y_valid)), cfg.booster)?;
-        let preds = booster.predict(&test);
+        let preds = model.score_windows(data.dataset, &data.splits.test);
         let confusion = ConfusionMatrix::from_labels(RiskLevel::COUNT, &y_test, &preds)?;
 
         // Importance analysis: per-dimension gain shares.
+        let (extractor, booster) = (model.extractor(), model.booster());
         let importance = booster.feature_importance();
         let by_dim = extractor.importance_by_dimension(&importance);
         let mut extra: Vec<(String, String)> = by_dim

@@ -12,6 +12,9 @@
 //!   config echoes, and discrete counts: must match exactly (floats
 //!   within `quality_eps`). Any drift is a regression regardless of
 //!   direction — these are replication invariants, not performance.
+//!   Wall-clock leaves embedded in config echoes (per-model fit times
+//!   in table rows) are the exception: they can never repeat exactly
+//!   and gate as Time instead.
 //! - **Time** — wall-clock leaves (`*_ms`, percentiles, durations):
 //!   candidate may not exceed `baseline * (1 + time_ratio)`; leaves
 //!   below `min_time_ms` are noise and ignored.
@@ -217,16 +220,25 @@ pub fn classify(path: &str) -> Class {
     if segs.iter().any(|s| MEM_MARKS.iter().any(|m| s.contains(m))) {
         return Class::Memory;
     }
+    let last = segs.last().unwrap_or(&"");
     if segs
         .iter()
         .any(|s| QUALITY_MARKS.iter().any(|m| s.contains(m)))
-        || segs.first() == Some(&"config")
-        || segs.first() == Some(&"tables")
-        || segs.get(1) == Some(&"counters")
-        || IDENTITY_SEGMENTS.contains(segs.last().unwrap_or(&""))
-        || COUNT_SEGMENTS.contains(segs.last().unwrap_or(&""))
+        || IDENTITY_SEGMENTS.contains(last)
+        || COUNT_SEGMENTS.contains(last)
     {
         return Class::Quality;
+    }
+    if segs.first() == Some(&"config")
+        || segs.first() == Some(&"tables")
+        || segs.get(1) == Some(&"counters")
+    {
+        // Config echoes are replication invariants — except wall-clock
+        // leaves embedded in them (per-model fit times in table rows),
+        // which can never repeat exactly and gate as Time below.
+        if !is_time_segment(last) {
+            return Class::Quality;
+        }
     }
     if segs.iter().any(|s| is_time_segment(s)) {
         return Class::Time;
@@ -647,6 +659,39 @@ mod tests {
         let mut r3 = DiffResult::default();
         compare_leaf("latency.x.p99_ms", &json!(0.2), &json!(0.9), &tol, &mut r3);
         assert!(!r3.regressed());
+    }
+
+    #[test]
+    fn config_time_leaves_gate_as_time_not_quality() {
+        // Config echoes are exact replication invariants…
+        assert_eq!(classify("config.qps"), Class::Quality);
+        assert_eq!(classify("config.models.0.accuracy"), Class::Quality);
+        // …except wall-clock leaves inside them, which can never repeat
+        // exactly across runs and take the ratio gate instead.
+        assert_eq!(classify("config.models.0.elapsed_ms"), Class::Time);
+        assert_eq!(classify("tables.table4.fit_secs"), Class::Time);
+
+        let tol = Tolerances::default();
+        // A faster candidate fit passes…
+        let mut ok = DiffResult::default();
+        compare_leaf(
+            "config.models.1.elapsed_ms",
+            &json!(5500.0),
+            &json!(4700.0),
+            &tol,
+            &mut ok,
+        );
+        assert!(!ok.regressed(), "findings: {:?}", ok.findings);
+        // …a 2x slower one still trips.
+        let mut bad = DiffResult::default();
+        compare_leaf(
+            "config.models.1.elapsed_ms",
+            &json!(5500.0),
+            &json!(11000.0),
+            &tol,
+            &mut bad,
+        );
+        assert!(bad.regressed());
     }
 
     #[test]

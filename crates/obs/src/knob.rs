@@ -1,0 +1,75 @@
+//! Environment-knob parsing with hard errors on invalid values.
+//!
+//! The `RSD_SCALE` precedent: a typo'd knob must abort with its own name
+//! in the message, never silently fall back to a default — a run that
+//! ignores the operator's `RSD_OBS_TICK_MS=5O` is worse than no run.
+
+/// The values that explicitly disable an optional knob.
+fn is_disabled(raw: &str) -> bool {
+    raw.is_empty() || raw == "0" || raw == "off"
+}
+
+/// Parse `raw` (from env var `var`) as a positive integer. `None` and
+/// the explicit disable spellings (`""`, `"0"`, `"off"`) yield `None`;
+/// anything else must parse as a positive integer or the process aborts
+/// naming the knob.
+pub fn optional_positive(var: &str, raw: Option<String>) -> Option<u64> {
+    let raw = raw?;
+    if is_disabled(&raw) {
+        return None;
+    }
+    match raw.trim().parse::<u64>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => panic!(
+            "invalid {var} value {raw:?}; expected a positive integer \
+             (or \"0\"/\"off\" to disable)"
+        ),
+    }
+}
+
+/// [`optional_positive`] reading the environment directly.
+pub fn optional_positive_env(var: &str) -> Option<u64> {
+    optional_positive(var, std::env::var(var).ok())
+}
+
+/// Like [`optional_positive`], but disabled/unset resolves to `default`.
+pub fn positive_or_default(var: &str, raw: Option<String>, default: u64) -> u64 {
+    optional_positive(var, raw).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_and_disable_spellings_yield_none() {
+        assert_eq!(optional_positive("K", None), None);
+        for off in ["", "0", "off"] {
+            assert_eq!(optional_positive("K", Some(off.to_string())), None);
+        }
+    }
+
+    #[test]
+    fn valid_values_parse() {
+        assert_eq!(optional_positive("K", Some("50".into())), Some(50));
+        assert_eq!(optional_positive("K", Some(" 250 ".into())), Some(250));
+        assert_eq!(positive_or_default("K", None, 7), 7);
+        assert_eq!(positive_or_default("K", Some("off".into()), 7), 7);
+        assert_eq!(positive_or_default("K", Some("3".into()), 7), 3);
+    }
+
+    #[test]
+    fn garbage_hard_errors_with_the_knob_named() {
+        for bad in ["banana", "5O", "-3", "1.5", "0x10"] {
+            let err = std::panic::catch_unwind(|| {
+                optional_positive("RSD_OBS_TICK_MS", Some(bad.to_string()))
+            })
+            .expect_err("must panic");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("RSD_OBS_TICK_MS"),
+                "panic must name the knob for {bad:?}: {msg}"
+            );
+        }
+    }
+}

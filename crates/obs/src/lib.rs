@@ -29,6 +29,7 @@
 pub mod alloc;
 pub mod diff;
 pub mod hist;
+pub mod knob;
 mod registry;
 mod report;
 pub mod ring;

@@ -186,14 +186,14 @@ static ARMED: AtomicBool = AtomicBool::new(false);
 static RING: OnceLock<EventRing> = OnceLock::new();
 
 /// The global ring (created on first use; capacity from
-/// `RSD_OBS_RING_CAP`).
+/// `RSD_OBS_RING_CAP` — an invalid value hard-errors naming the knob).
 pub fn global() -> &'static EventRing {
     RING.get_or_init(|| {
-        let cap = std::env::var("RSD_OBS_RING_CAP")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or(DEFAULT_CAPACITY);
+        let cap = crate::knob::positive_or_default(
+            "RSD_OBS_RING_CAP",
+            std::env::var("RSD_OBS_RING_CAP").ok(),
+            DEFAULT_CAPACITY as u64,
+        ) as usize;
         EventRing::with_capacity(cap)
     })
 }

@@ -71,11 +71,11 @@ fn truthy(var: &str) -> bool {
 /// start the driver for one bench binary. Returns `None` when neither a
 /// tick nor trace export is requested — the continuous layer then stays
 /// disarmed and hot paths pay a single atomic load.
+///
+/// Invalid (unparsable) knob values hard-error naming the knob, matching
+/// the `RSD_SCALE` precedent; `""`/`"0"`/`"off"` legitimately disable.
 pub fn start(bin: &str, scale: &str) -> Option<SeriesGuard> {
-    let tick_ms: Option<u64> = std::env::var("RSD_OBS_TICK_MS")
-        .ok()
-        .filter(|v| !(v.is_empty() || v == "0" || v == "off"))
-        .and_then(|v| v.parse().ok());
+    let tick_ms = crate::knob::optional_positive_env("RSD_OBS_TICK_MS");
     let trace = truthy("RSD_OBS_TRACE");
     if tick_ms.is_none() && !trace {
         return None;
@@ -85,11 +85,11 @@ pub fn start(bin: &str, scale: &str) -> Option<SeriesGuard> {
         tick: Duration::from_millis(tick_ms.unwrap_or(TRACE_ONLY_TICK_MS).max(1)),
         series_path: tick_ms.map(|_| dir.join(format!("{bin}.series.ndjson"))),
         trace_path: trace.then(|| dir.join(format!("{bin}.trace.json"))),
-        stall_ticks: std::env::var("RSD_OBS_STALL_TICKS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or(DEFAULT_STALL_TICKS),
+        stall_ticks: crate::knob::positive_or_default(
+            "RSD_OBS_STALL_TICKS",
+            std::env::var("RSD_OBS_STALL_TICKS").ok(),
+            u64::from(DEFAULT_STALL_TICKS),
+        ) as u32,
     };
     Some(start_with(opts))
 }

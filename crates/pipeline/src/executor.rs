@@ -242,5 +242,20 @@ mod tests {
         let cfg = PipelineConfig::from_env().unwrap();
         assert_eq!(cfg.shard_users, 512);
         std::env::remove_var("RSD_SHARD_USERS");
+
+        // RSD_SHARDS_IN_FLIGHT must hard-error with the knob named, not
+        // silently fall back (the RSD_SCALE precedent).
+        for bad in ["banana", "0", "-2", "1.5"] {
+            std::env::set_var("RSD_SHARDS_IN_FLIGHT", bad);
+            let err = PipelineConfig::from_env().unwrap_err().to_string();
+            assert!(
+                err.contains("RSD_SHARDS_IN_FLIGHT"),
+                "error must name the knob for {bad:?}: {err}"
+            );
+        }
+        std::env::set_var("RSD_SHARDS_IN_FLIGHT", "3");
+        let cfg = PipelineConfig::from_env().unwrap();
+        assert_eq!(cfg.shards_in_flight, 3);
+        std::env::remove_var("RSD_SHARDS_IN_FLIGHT");
     }
 }

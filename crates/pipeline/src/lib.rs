@@ -26,15 +26,24 @@
 //! * **Residency accounting** ([`ResidentGauge`]) — stages report how many
 //!   raw posts they hold, surfacing the bounded-memory claim as the
 //!   `pipeline.peak_resident_posts` gauge instead of asserting it.
+//! * **Service primitives** ([`service`]) — the long-running
+//!   generalization of the one-shot machinery: replayable
+//!   [`StreamSource`]s, stateful [`ServiceStage`]s, blocking bounded
+//!   channels with explicit backpressure, and a [`Shutdown`] drain
+//!   signal. `rsd-serve` runs on these.
 
 pub mod checkpoint;
 pub mod executor;
 pub mod resident;
+pub mod service;
 pub mod shard;
 pub mod stage;
 
 pub use checkpoint::{config_fingerprint, global_stage, Artifact, Checkpointer};
 pub use executor::{run_shards, PipelineConfig, PipelineReport};
 pub use resident::ResidentGauge;
+pub use service::{
+    bounded, pump, Receiver, SendError, Sender, ServiceStage, Shutdown, StreamSource, VecSource,
+};
 pub use shard::{ShardPlan, ShardSpec};
 pub use stage::{Checkpointed, ShardTask, ShardTaskExt, Sink, Source, SourceTask, Stage, Then};

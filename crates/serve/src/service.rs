@@ -1,0 +1,394 @@
+//! The online risk-scoring service: a long-running worker over the
+//! `rsd-pipeline` service primitives, keyed on the shared
+//! [`UserWindowStore`], scoring micro-batches through the table-3
+//! [`ScoringModel`].
+//!
+//! # Determinism
+//!
+//! Scores depend only on the *sequence* of submitted posts, never on
+//! timing: the ingest channel preserves submission order, the store
+//! applies per-shard updates in that order, and per-request scoring is
+//! self-contained, so batch boundaries (which *are* timing-dependent)
+//! cannot change any score. Results are emitted in submission order.
+//!
+//! # Backpressure and drain
+//!
+//! `submit` blocks while the ingress channel is full — ingest pressure
+//! propagates to the producer instead of growing an unbounded queue.
+//! [`RiskService::drain`] triggers the shutdown signal (closing
+//! ingress), lets the worker finish everything queued, and returns the
+//! final [`ServeReport`].
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use rsd_common::Timestamp;
+use rsd_corpus::RiskLevel;
+use rsd_dataset::{StoreItem, UserWindowStore};
+use rsd_models::{ScoreScratch, ScoringModel};
+use rsd_pipeline::service::{bounded, Receiver, SendError, Sender, Shutdown};
+
+use crate::config::ServeConfig;
+
+/// One post event entering the service.
+#[derive(Debug, Clone)]
+pub struct IncomingPost {
+    /// Owning user id.
+    pub user: u32,
+    /// Post id (unique; tie-breaks same-timestamp ordering).
+    pub post: u32,
+    /// Post creation time.
+    pub created: Timestamp,
+    /// Cleaned post text.
+    pub text: String,
+}
+
+/// The service's answer for one submitted post: the user's risk level
+/// given their trailing window *after* this post.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoredPost {
+    /// Owning user id.
+    pub user: u32,
+    /// The scored post's id.
+    pub post: u32,
+    /// Predicted user-level risk.
+    pub level: RiskLevel,
+    /// Posts in the window that produced the score (`≤ W`).
+    pub window_len: usize,
+    /// Posts ever seen for this user (since residency began).
+    pub total_seen: u64,
+    /// Submit-to-score latency in nanoseconds.
+    pub latency_ns: u64,
+}
+
+/// Final accounting returned by [`RiskService::drain`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Requests scored.
+    pub scored: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Largest micro-batch observed.
+    pub max_batch: usize,
+    /// Users evicted by the LRU under memory pressure.
+    pub evicted_users: u64,
+    /// Sum of per-shard peak resident users (bounded-memory witness).
+    pub peak_resident_users: usize,
+    /// Users resident at drain time.
+    pub resident_users: usize,
+    /// Submits that found the ingress queue full and blocked.
+    pub blocked_submits: u64,
+}
+
+struct Envelope {
+    post: IncomingPost,
+    t0: Instant,
+}
+
+/// Per-shard scoring scratch: feature row + timestamp buffer, reused
+/// across every request the shard scores in a batch.
+#[derive(Default)]
+struct WorkerScratch {
+    score: ScoreScratch,
+    stamps: Vec<Timestamp>,
+}
+
+/// A running risk-scoring service (one scoring worker; shard-level
+/// parallelism inside each micro-batch comes from the `rsd-par` pool).
+pub struct RiskService {
+    ingress: Sender<Envelope>,
+    results: Receiver<ScoredPost>,
+    shutdown: Shutdown,
+    worker: Option<thread::JoinHandle<ServeReport>>,
+}
+
+impl RiskService {
+    /// Start the service on a fitted scoring model.
+    pub fn start(model: Arc<ScoringModel>, cfg: ServeConfig) -> RiskService {
+        let (ingress_tx, ingress_rx) = bounded::<Envelope>(cfg.channel_cap, "serve.ingress");
+        let (results_tx, results_rx) = bounded::<ScoredPost>(cfg.channel_cap, "serve.results");
+        let shutdown = Shutdown::new();
+        let closer = ingress_tx.clone();
+        shutdown.on_trigger(move || closer.close());
+        let worker = thread::Builder::new()
+            .name("rsd-serve-worker".to_string())
+            .spawn(move || worker_loop(model, cfg, ingress_rx, results_tx))
+            .expect("spawn serve worker");
+        RiskService {
+            ingress: ingress_tx,
+            results: results_rx,
+            shutdown,
+            worker: Some(worker),
+        }
+    }
+
+    /// Submit one post. Blocks while the ingress queue is full
+    /// (backpressure); fails once the service is draining.
+    pub fn submit(&self, post: IncomingPost) -> std::result::Result<(), SendError<IncomingPost>> {
+        self.ingress
+            .send(Envelope {
+                post,
+                t0: Instant::now(),
+            })
+            .map_err(|SendError(env)| SendError(env.post))
+    }
+
+    /// A handle to the result stream (clone freely; results are emitted
+    /// in submission order). Consume it concurrently with submission —
+    /// the results channel is bounded too, so an unread result stream
+    /// eventually backpressures the scoring worker.
+    pub fn results(&self) -> Receiver<ScoredPost> {
+        self.results.clone()
+    }
+
+    /// The drain signal (e.g. to trigger from a signal handler).
+    pub fn shutdown_signal(&self) -> Shutdown {
+        self.shutdown.clone()
+    }
+
+    /// Drain: close ingress, let the worker score everything queued,
+    /// and return the final report. Queued results stay receivable on
+    /// previously cloned [`results`](RiskService::results) handles.
+    pub fn drain(mut self) -> ServeReport {
+        self.shutdown.trigger();
+        let blocked = self.ingress.blocked_sends();
+        // Release our result handle so a worker blocked on a full,
+        // unconsumed results queue fails fast instead of deadlocking
+        // the join (external clones keep the stream alive if present).
+        let results = std::mem::replace(&mut self.results, {
+            let (_, rx) = bounded::<ScoredPost>(1, "serve.results.detached");
+            rx
+        });
+        drop(results);
+        let mut report = self
+            .worker
+            .take()
+            .expect("drain called once")
+            .join()
+            .expect("serve worker panicked");
+        report.blocked_submits = blocked;
+        report
+    }
+}
+
+fn worker_loop(
+    model: Arc<ScoringModel>,
+    cfg: ServeConfig,
+    ingress: Receiver<Envelope>,
+    results: Sender<ScoredPost>,
+) -> ServeReport {
+    rsd_obs::stage_register("serve.scored");
+    let mut store: UserWindowStore<String> =
+        UserWindowStore::new(cfg.shards, model.window(), cfg.lru_capacity);
+    let mut report = ServeReport::default();
+
+    // Blocking recv for the batch head, then opportunistically fill the
+    // micro-batch from whatever else is already queued.
+    while let Some(first) = ingress.recv() {
+        let mut batch = Vec::with_capacity(cfg.batch_max);
+        batch.push(first);
+        while batch.len() < cfg.batch_max {
+            match ingress.try_recv() {
+                Some(env) => batch.push(env),
+                None => break,
+            }
+        }
+
+        let n = batch.len();
+        let mut bytes = 0u64;
+        let mut metas = Vec::with_capacity(n);
+        let mut items = Vec::with_capacity(n);
+        for env in batch {
+            bytes += env.post.text.len() as u64;
+            metas.push((env.post.user, env.post.post, env.t0));
+            items.push(StoreItem {
+                user: env.post.user,
+                created: env.post.created,
+                id: env.post.post,
+                payload: env.post.text,
+            });
+        }
+
+        // Sharded state update + scoring on the rsd-par pool. The
+        // callback sees the user's window *after* this post's insert;
+        // per-shard scratch keeps feature rows allocation-free.
+        let outs = store.apply_batch_map::<(usize, usize, u64), WorkerScratch, _>(
+            items,
+            |_user, buf, scratch| {
+                let texts: Vec<&str> = buf.entries().iter().map(|e| e.payload.as_str()).collect();
+                scratch.stamps.clear();
+                scratch
+                    .stamps
+                    .extend(buf.entries().iter().map(|e| e.created));
+                let level = model.score_stream(
+                    &texts,
+                    &scratch.stamps,
+                    buf.total_seen() as usize,
+                    &mut scratch.score,
+                );
+                (level, buf.len(), buf.total_seen())
+            },
+        );
+
+        for ((user, post, t0), (level, window_len, total_seen)) in metas.into_iter().zip(outs) {
+            let latency_ns = t0.elapsed().as_nanos() as u64;
+            rsd_obs::latency_ns("serve.request", latency_ns);
+            let scored = ScoredPost {
+                user,
+                post,
+                level: RiskLevel::from_index(level).expect("booster predicts 0..4"),
+                window_len,
+                total_seen,
+                latency_ns,
+            };
+            // A failed send means every result receiver is gone; keep
+            // scoring (state must stay consistent) but stop emitting.
+            let _ = results.send(scored);
+        }
+
+        report.scored += n as u64;
+        report.batches += 1;
+        report.max_batch = report.max_batch.max(n);
+        rsd_obs::counter_add("serve.requests", n as u64);
+        rsd_obs::stage_progress("serve.scored", n as u64, bytes);
+        rsd_obs::gauge("serve.resident_users", store.resident_users() as f64);
+        rsd_obs::gauge("serve.ingress.depth", ingress.depth() as f64);
+    }
+
+    rsd_obs::stage_finish("serve.scored");
+    report.evicted_users = store.evicted_users();
+    report.peak_resident_users = store.peak_resident_users();
+    report.resident_users = store.resident_users();
+    results.close();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsd_dataset::{BuildConfig, DatasetBuilder, DatasetSplits, SplitConfig};
+    use rsd_gbdt::BoosterConfig;
+    use rsd_models::{BenchData, XgboostConfig};
+
+    fn fitted_model() -> (rsd_dataset::Rsd15k, Arc<ScoringModel>) {
+        let (dataset, _) = DatasetBuilder::new(BuildConfig::scaled(41, 1_500, 30))
+            .build()
+            .unwrap();
+        let splits = DatasetSplits::new(&dataset, SplitConfig::default()).unwrap();
+        let data = BenchData {
+            dataset: &dataset,
+            splits: &splits,
+            unlabeled: &[],
+            seed: 41,
+        };
+        let cfg = XgboostConfig {
+            max_tfidf: 60,
+            post_level_cap: 2,
+            booster: BoosterConfig {
+                n_classes: 4,
+                n_rounds: 8,
+                early_stopping: 0,
+                ..Default::default()
+            },
+        };
+        let model = Arc::new(ScoringModel::fit(&cfg, &data).unwrap());
+        (dataset, model)
+    }
+
+    fn chronological_posts(dataset: &rsd_dataset::Rsd15k) -> Vec<IncomingPost> {
+        let mut order: Vec<usize> = (0..dataset.posts.len()).collect();
+        order.sort_by_key(|&i| (dataset.posts[i].created, dataset.posts[i].id));
+        order
+            .into_iter()
+            .map(|i| {
+                let p = &dataset.posts[i];
+                IncomingPost {
+                    user: p.user.0,
+                    post: p.id.0,
+                    created: p.created,
+                    text: p.text.clone(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scores_stream_in_submission_order_and_drains_clean() {
+        let (dataset, model) = fitted_model();
+        let posts = chronological_posts(&dataset);
+        let n = posts.len();
+        let cfg = ServeConfig {
+            shards: 4,
+            lru_capacity: 4096,
+            batch_max: 16,
+            channel_cap: n + 1, // no consumer until after drain
+        };
+        let service = RiskService::start(model, cfg);
+        let results = service.results();
+        for p in posts.clone() {
+            service.submit(p).unwrap();
+        }
+        let report = service.drain();
+        assert_eq!(report.scored, n as u64);
+        assert_eq!(report.evicted_users, 0, "ample LRU capacity");
+        assert!(report.peak_resident_users <= dataset.n_users());
+
+        let scored: Vec<ScoredPost> = std::iter::from_fn(|| results.recv()).collect();
+        assert_eq!(scored.len(), n);
+        for (got, want) in scored.iter().zip(&posts) {
+            assert_eq!((got.user, got.post), (want.user, want.post), "order");
+            assert!(got.window_len >= 1 && got.window_len <= 5);
+        }
+    }
+
+    #[test]
+    fn scores_are_timing_independent_across_batch_sizes() {
+        let (dataset, model) = fitted_model();
+        let posts = chronological_posts(&dataset);
+        let n = posts.len();
+        let run = |batch_max: usize| -> Vec<(u32, u32, RiskLevel)> {
+            let cfg = ServeConfig {
+                shards: 4,
+                lru_capacity: 4096,
+                batch_max,
+                channel_cap: n + 1,
+            };
+            let service = RiskService::start(Arc::clone(&model), cfg);
+            let results = service.results();
+            for p in posts.clone() {
+                service.submit(p).unwrap();
+            }
+            service.drain();
+            std::iter::from_fn(|| results.recv())
+                .map(|s| (s.user, s.post, s.level))
+                .collect()
+        };
+        assert_eq!(run(1), run(64), "batch boundaries must not change scores");
+    }
+
+    #[test]
+    fn lru_pressure_evicts_but_keeps_serving() {
+        let (dataset, model) = fitted_model();
+        let posts = chronological_posts(&dataset);
+        let n = posts.len();
+        let cfg = ServeConfig {
+            shards: 2,
+            lru_capacity: 4, // far fewer than the user count
+            batch_max: 8,
+            channel_cap: n + 1,
+        };
+        let service = RiskService::start(model, cfg);
+        let results = service.results();
+        for p in posts {
+            service.submit(p).unwrap();
+        }
+        let report = service.drain();
+        assert_eq!(report.scored, n as u64);
+        assert!(report.evicted_users > 0, "pressure must evict");
+        assert!(report.peak_resident_users <= 4 + 2, "capacity respected");
+        assert!(report.resident_users <= 4);
+        let scored = std::iter::from_fn(|| results.recv()).count();
+        assert_eq!(scored, n);
+    }
+}

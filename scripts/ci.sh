@@ -110,6 +110,32 @@ RSD_SCALE=smoke RSD_BUILD_MODE=stream RSD_CHECKPOINT_DIR="$obs_tmp/ckpt" \
 cmp "$obs_tmp/batch.jsonl" "$obs_tmp/resumed.jsonl" \
     || { echo "resumed build differs from batch"; exit 1; }
 
+echo "==> serving smoke (loadgen at fixed QPS, clean drain + zero drops)"
+# The bin itself asserts a clean drain (every submitted post scored and
+# emitted); obs_top --check asserts zero ring drops and a well-formed
+# series. Per-level counts in the report are timing-independent and
+# compare exactly. Timing leaves get wide noise floors rather than wide
+# ratios: a floor skips a leaf only when BOTH sides sit under it, so
+# sub-floor scheduler jitter (smoke-scale request latency is sub-ms,
+# per-request tails swing several-x run to run) is ignored while a real
+# regression that clears the floor still gates at the normal ratios.
+rm -f bench_runs/small/loadgen.series.ndjson
+RSD_SCALE=smoke RSD_OBS="$obs_tmp/loadgen.ndjson" RSD_OBS_TICK_MS=50 RSD_QPS=500 \
+    cargo run --release -q -p rsd-bench --bin loadgen >"$obs_tmp/loadgen.out"
+cargo run --release -q -p rsd-bench --bin obs_top -- --check \
+    bench_runs/small/loadgen.series.ndjson
+cargo run --release -q -p rsd-bench --bin obs_diff -- \
+    --time-tol "${OBS_DIFF_LOADGEN_TIME_TOL:-0.50}" \
+    --min-time-ms 500 --min-quantile-ms 5 \
+    --quantile-tol p99 0.5 --quantile-tol p999 3.0 \
+    bench_runs/baseline/loadgen.report.json bench_runs/small/loadgen.report.json
+cargo run --release -q -p rsd-bench --bin obs_diff -- \
+    --min-time-ms 500 --min-quantile-ms 5 \
+    --quantile-tol p99 0.5 --quantile-tol p999 3.0 \
+    bench_runs/baseline/loadgen.series.ndjson bench_runs/small/loadgen.series.ndjson
+cargo run --release -q -p rsd-bench --bin obs_diff -- --self-test \
+    bench_runs/small/loadgen.series.ndjson
+
 echo "==> mid-scale golden equivalence (release, ignored test)"
 cargo test --release -q --test streaming_equivalence -- --ignored
 

@@ -1,0 +1,97 @@
+//! Serving-vs-batch equivalence: replaying the corpus through the
+//! online `rsd-serve` scorer must reproduce the batch table-3 inference
+//! path score-for-score. After a user's last post is ingested, the
+//! service's window for them is exactly the batch latest-W selection
+//! (same store implementation), and `score_stream` reads the same raw
+//! feature row `score_windows` does — so the final served level for
+//! every test-split user must equal the batch prediction, bit for bit.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rsd_dataset::{BuildConfig, DatasetBuilder, DatasetSplits, SplitConfig};
+use rsd_gbdt::BoosterConfig;
+use rsd_models::{BenchData, ScoringModel, XgboostConfig};
+use rsd_serve::{IncomingPost, RiskService, ScoredPost, ServeConfig};
+
+#[test]
+fn service_final_scores_match_batch_inference() {
+    let (dataset, _) = DatasetBuilder::new(BuildConfig::scaled(77, 2_000, 36))
+        .build()
+        .expect("build dataset");
+    let splits = DatasetSplits::new(&dataset, SplitConfig::default()).expect("splits");
+    let data = BenchData {
+        dataset: &dataset,
+        splits: &splits,
+        unlabeled: &[],
+        seed: 77,
+    };
+    let cfg = XgboostConfig {
+        max_tfidf: 80,
+        post_level_cap: 3,
+        booster: BoosterConfig {
+            n_classes: 4,
+            n_rounds: 10,
+            early_stopping: 0,
+            ..Default::default()
+        },
+    };
+    let model = Arc::new(ScoringModel::fit(&cfg, &data).expect("fit"));
+
+    let batch = model.score_windows(&dataset, &splits.test);
+
+    // Replay every post in global chronological order, ample LRU so no
+    // test user's window is evicted before their last post scores.
+    let mut order: Vec<usize> = (0..dataset.posts.len()).collect();
+    order.sort_by_key(|&i| (dataset.posts[i].created, dataset.posts[i].id));
+    let service = RiskService::start(
+        Arc::clone(&model),
+        ServeConfig {
+            shards: 4,
+            lru_capacity: 4096,
+            batch_max: 32,
+            channel_cap: dataset.posts.len() + 1,
+        },
+    );
+    let results = service.results();
+    for i in order {
+        let p = &dataset.posts[i];
+        service
+            .submit(IncomingPost {
+                user: p.user.0,
+                post: p.id.0,
+                created: p.created,
+                text: p.text.clone(),
+            })
+            .expect("submit");
+    }
+    let report = service.drain();
+    assert_eq!(report.scored as usize, dataset.posts.len());
+    assert_eq!(report.evicted_users, 0, "ample LRU must not evict");
+
+    // Results arrive in submission order; the last result per user is
+    // their score over the full-history window.
+    let mut last: HashMap<u32, ScoredPost> = HashMap::new();
+    while let Some(scored) = results.recv() {
+        last.insert(scored.user, scored);
+    }
+
+    assert!(!splits.test.is_empty());
+    for (w, &expect) in splits.test.iter().zip(&batch) {
+        let got = &last[&w.user.0];
+        assert_eq!(
+            got.level.index(),
+            expect,
+            "served score diverged from batch inference for user {}",
+            w.user.0
+        );
+        assert_eq!(got.window_len, w.post_indices.len(), "window size");
+        let total = dataset
+            .users
+            .iter()
+            .find(|u| u.id == w.user)
+            .map(|u| u.post_indices.len())
+            .expect("test user exists");
+        assert_eq!(got.total_seen as usize, total, "posts seen");
+    }
+}
