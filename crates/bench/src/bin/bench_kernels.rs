@@ -2,7 +2,7 @@
 //! the pre-optimization reference implementations and writes
 //! `BENCH_kernels.json` at the workspace root.
 //!
-//! Three workload families:
+//! Four workload families:
 //!
 //! * dense matmul at 128/256/512 dims — in-tree [`reference::matmul`]
 //!   (the seed's zero-branch scalar kernel) vs the new blocked kernel,
@@ -11,7 +11,11 @@
 //!   row-major (`Vec<Vec<u16>>`) histogram split search vs the new
 //!   column-major gathered [`Tree::fit`];
 //! * a full [`Booster::fit`] plus a byte-identity check of its
-//!   predictions across serial / 1-thread / 4-thread execution.
+//!   predictions across serial / 1-thread / 4-thread execution;
+//! * PLM inference at paper scale — the training tape, the tape-free f32
+//!   engine, and the per-channel int8 fast path, batched and single-post,
+//!   with the quantization quality gates (`RSD_QUANT_EPS`,
+//!   `RSD_QUANT_MIN_AGREE`, `RSD_QUANT_MIN_SPEEDUP`) asserted in-process.
 //!
 //! On a single-core host the pool cannot add wall-clock speedup; the
 //! honest headline number is the kernel-level speedup vs the reference
@@ -21,6 +25,10 @@ use std::time::Instant;
 
 use rsd_gbdt::tree::TreeConfig;
 use rsd_gbdt::{BinnedMatrix, Booster, BoosterConfig, Tree};
+use rsd_models::plm_infer::argmax_logits;
+use rsd_models::{
+    EncodedWindow, FittedPlm, PlmConfig, PlmInferenceModel, PlmKind, PlmScratch, TIME_FEATURE_DIM,
+};
 use rsd_nn::matrix::{reference, Matrix};
 
 const REPS: usize = 9;
@@ -250,6 +258,186 @@ fn gbdt_section() -> serde_json::Value {
     })
 }
 
+/// Deterministic pseudo-random encoded window (no RNG dependency so the
+/// artifact is reproducible byte-for-byte across hosts).
+fn pseudo_window(vocab: usize, posts: usize, tokens: usize, salt: u64) -> EncodedWindow {
+    let hash = |i: u64| {
+        (i ^ salt)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(21)
+    };
+    EncodedWindow {
+        post_tokens: (0..posts)
+            .map(|p| {
+                (0..tokens)
+                    .map(|t| (hash((p * tokens + t) as u64) % vocab as u64) as u32)
+                    .collect()
+            })
+            .collect(),
+        time_feats: (0..posts)
+            .map(|p| {
+                std::array::from_fn(|d| {
+                    let h = hash((100_000 + p * TIME_FEATURE_DIM + d) as u64);
+                    ((h % 1000) as f32) / 500.0 - 1.0
+                })
+            })
+            .collect(),
+        label: 0,
+    }
+}
+
+fn inference_section() -> serde_json::Value {
+    // Quality/latency gates for the quantized path, operator-tunable:
+    // max per-logit |int8 - f32| error, min argmax agreement (percent),
+    // min serial batch speedup. All hard-error naming the knob.
+    let eps = rsd_obs::knob::positive_float_env("RSD_QUANT_EPS", 0.1);
+    let min_agree = rsd_obs::knob::positive_float_env("RSD_QUANT_MIN_AGREE", 99.0);
+    let min_speedup = rsd_obs::knob::positive_float_env("RSD_QUANT_MIN_SPEEDUP", 2.0);
+
+    // A paper-scale DeBERTa-like PLM with seed-deterministic synthetic
+    // weights: the int8-vs-f32 contrast depends on shapes, not on what
+    // the weights converged to, and synthetic export keeps the artifact
+    // reproducible without a training run.
+    let cfg = PlmConfig::base(PlmKind::Deberta);
+    let (dim, layers) = (cfg.dim, cfg.layers);
+    let fitted = FittedPlm::synthetic(cfg.clone(), 7);
+    let engine = PlmInferenceModel::export(&fitted);
+    let vocab = fitted.encoder.vocab.len();
+
+    let batch: Vec<EncodedWindow> = (0..64)
+        .map(|i| pseudo_window(vocab, 5, cfg.max_tokens, 1_000 + i))
+        .collect();
+    let single = pseudo_window(vocab, 1, cfg.max_tokens, 77);
+
+    // Serial batch timings: tape (the status-quo training-graph forward),
+    // the tape-free f32 engine, and the int8 fast path.
+    let tape_batch_ms = time_best(|| {
+        rsd_par::run_serial(|| batch.iter().map(|w| fitted.logits_tape(w)[0]).sum::<f32>())
+    });
+    let f32_batch_ms = time_best(|| {
+        rsd_par::run_serial(|| batch.iter().map(|w| engine.logits_f32(w)[0]).sum::<f32>())
+    });
+    let mut scratch = PlmScratch::default();
+    let int8_batch_ms = time_best(|| {
+        rsd_par::run_serial(|| {
+            batch
+                .iter()
+                .map(|w| engine.logits_i8(w, &mut scratch)[0])
+                .sum::<f32>()
+        })
+    });
+    // Micro-batched scoring on a 4-thread pool, the serving shape.
+    let f32_pool4_ms =
+        time_best(|| rsd_par::with_local_pool(4, || engine.score_windows(&batch, false)));
+    let int8_pool4_ms =
+        time_best(|| rsd_par::with_local_pool(4, || engine.score_windows(&batch, true)));
+
+    // Single-post latency (the streaming request shape), averaged over a
+    // fixed iteration count so sub-millisecond work still times stably.
+    const SINGLE_ITERS: usize = 100;
+    let single_f32_ms = time_best(|| {
+        (0..SINGLE_ITERS)
+            .map(|_| engine.logits_f32(&single)[0])
+            .sum::<f32>()
+    }) / SINGLE_ITERS as f64;
+    let single_int8_ms = time_best(|| {
+        (0..SINGLE_ITERS)
+            .map(|_| engine.logits_i8(&single, &mut scratch)[0])
+            .sum::<f32>()
+    }) / SINGLE_ITERS as f64;
+
+    // Quality gate over a larger window pool than the timed batch, so one
+    // disagreement costs 0.25 points, not 1.6.
+    let quality: Vec<EncodedWindow> = (0..400)
+        .map(|i| pseudo_window(vocab, 1 + (i as usize % 5), cfg.max_tokens, 50_000 + i))
+        .collect();
+    let mut agree = 0usize;
+    let mut within_eps = 0usize;
+    let mut max_abs_diff = 0.0f32;
+    for w in &quality {
+        let f = engine.logits_f32(w);
+        let q = engine.logits_i8(w, &mut scratch);
+        let worst = f
+            .iter()
+            .zip(&q)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        max_abs_diff = max_abs_diff.max(worst);
+        if worst <= eps as f32 {
+            within_eps += 1;
+        }
+        if argmax_logits(&f) == argmax_logits(&q) {
+            agree += 1;
+        }
+    }
+    let agreement_percent = agree as f64 * 100.0 / quality.len() as f64;
+    let within_eps_percent = within_eps as f64 * 100.0 / quality.len() as f64;
+
+    // Bitwise determinism of the int8 path across pool shapes: integer
+    // accumulation makes this exact, so it is asserted, not reported.
+    let serial_preds = rsd_par::run_serial(|| engine.score_windows(&batch, true));
+    let pool_preds = rsd_par::with_local_pool(4, || engine.score_windows(&batch, true));
+    assert_eq!(
+        serial_preds, pool_preds,
+        "int8 scoring must not depend on the pool"
+    );
+
+    let int8_speedup_vs_f32 = f32_batch_ms / int8_batch_ms;
+    let int8_speedup_vs_tape = tape_batch_ms / int8_batch_ms;
+    let n = batch.len() as f64;
+    println!(
+        "plm inference (dim {dim}, {layers} layers, {} windows): tape {tape_batch_ms:8.2} ms | \
+         f32 {f32_batch_ms:8.2} ms | int8 {int8_batch_ms:8.2} ms ({int8_speedup_vs_f32:.2}x f32, \
+         {int8_speedup_vs_tape:.2}x tape)",
+        batch.len()
+    );
+    println!(
+        "plm quality ({} windows): argmax agreement {agreement_percent:.2}% | within eps {eps}: \
+         {within_eps_percent:.2}% | max |logit diff| {max_abs_diff:.4}",
+        quality.len()
+    );
+    assert!(
+        within_eps_percent == 100.0,
+        "int8 logits drifted: only {within_eps_percent:.2}% of {} windows within \
+         RSD_QUANT_EPS={eps} (max |diff| {max_abs_diff:.4})",
+        quality.len()
+    );
+    assert!(
+        agreement_percent >= min_agree,
+        "int8 argmax agreement {agreement_percent:.2}% below RSD_QUANT_MIN_AGREE={min_agree}"
+    );
+    assert!(
+        int8_speedup_vs_f32 >= min_speedup,
+        "int8 batch speedup {int8_speedup_vs_f32:.2}x below RSD_QUANT_MIN_SPEEDUP={min_speedup}"
+    );
+
+    serde_json::json!({
+        "model": "deberta-base-synthetic",
+        "dim": dim,
+        "layers": layers,
+        "windows": batch.len(),
+        "quality_windows": quality.len(),
+        "quant_eps": eps,
+        "tape_f32_batch_ms": tape_batch_ms,
+        "infer_f32_batch_ms": f32_batch_ms,
+        "infer_int8_batch_ms": int8_batch_ms,
+        "pool4_f32_batch_ms": f32_pool4_ms,
+        "pool4_int8_batch_ms": int8_pool4_ms,
+        "single_f32_ms": single_f32_ms,
+        "single_int8_ms": single_int8_ms,
+        "tape_windows_per_s": n / (tape_batch_ms / 1e3),
+        "f32_windows_per_s": n / (f32_batch_ms / 1e3),
+        "int8_windows_per_s": n / (int8_batch_ms / 1e3),
+        "pool4_int8_windows_per_s": n / (int8_pool4_ms / 1e3),
+        "int8_speedup_vs_f32": int8_speedup_vs_f32,
+        "int8_speedup_vs_tape": int8_speedup_vs_tape,
+        "single_int8_speedup_vs_f32": single_f32_ms / single_int8_ms,
+        "argmax_agreement_percent": agreement_percent,
+        "logit_within_eps_percent": within_eps_percent,
+        "max_abs_logit_diff": max_abs_diff as f64
+    })
+}
+
 fn main() {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -258,6 +446,7 @@ fn main() {
 
     let matmul = matmul_rows();
     let gbdt = gbdt_section();
+    let inference = inference_section();
 
     let report = serde_json::json!({
         "generated_by": "bench_kernels",
@@ -265,6 +454,7 @@ fn main() {
         "reps": REPS,
         "matmul": matmul,
         "gbdt": gbdt,
+        "inference": inference,
         "note": "reference_* times the seed's kernels (kept in-tree as rsd_nn::matrix::reference \
                  and re-created for the GBDT grower); on a single-core host pool4 adds scheduling \
                  overhead only, and the speedup column is pure kernel work reduction that a \

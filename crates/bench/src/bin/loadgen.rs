@@ -8,8 +8,23 @@
 //!
 //! * `RSD_QPS` — target submissions per second (default 200).
 //! * `RSD_LOADGEN_ROUNDS` — times the corpus is replayed (default 1).
+//! * `RSD_SERVE_MODEL` — scoring backend (`gbdt | plm-f32 | plm-int8`,
+//!   default `gbdt`): the GBDT path fits the table-3 XGBoost artifact;
+//!   the PLM paths train the table-3 DeBERTa baseline once and freeze it
+//!   through the tape-free inference engine, f32 or int8.
+//! * `RSD_LOADGEN_SOAK_MS` — sustained-soak mode: instead of a fixed
+//!   round count, replay the corpus (rewinding as needed) at the target
+//!   QPS for this long, then assert the p99 latency SLO directly.
+//!   Requires `RSD_OBS_TICK_MS` (the SLO reads the `serve.request`
+//!   histogram).
+//! * `RSD_LOADGEN_SLO_P99_MS` — the p99 SLO asserted in soak mode
+//!   (default 250).
 //! * `RSD_SERVE_SHARDS` / `RSD_SERVE_LRU` / `RSD_SERVE_BATCH` /
 //!   `RSD_SERVE_CHANNEL_CAP` — service sizing ([`rsd_serve::ServeConfig`]).
+//!
+//! Every run asserts the telemetry event ring shed nothing
+//! (`ring_dropped == 0`): load shedding in the observability layer under
+//! the load the run itself generated is a finding, not a footnote.
 //!
 //! All invalid knob values hard-error naming the knob. With
 //! `RSD_OBS_TICK_MS` set, per-request latency lands in the
@@ -26,7 +41,7 @@ use std::time::{Duration, Instant};
 
 use rsd_bench::{table3_configs, BinHarness, Prepared};
 use rsd_corpus::RiskLevel;
-use rsd_models::ScoringModel;
+use rsd_models::{PlmBaseline, ScoringModel, ServeModel};
 use rsd_obs::Value;
 use rsd_pipeline::{StreamSource, VecSource};
 use rsd_serve::{IncomingPost, RiskService, ServeConfig};
@@ -57,13 +72,24 @@ fn main() {
         std::env::var("RSD_LOADGEN_ROUNDS").ok(),
         1,
     );
+    let soak_ms = rsd_obs::knob::optional_positive_env("RSD_LOADGEN_SOAK_MS");
+    let slo_p99_ms = rsd_obs::knob::positive_float_env("RSD_LOADGEN_SLO_P99_MS", 250.0);
     let serve_cfg = ServeConfig::from_env().expect("serve config");
 
     let prepared = Prepared::from_env();
     let model = {
         let _s = rsd_obs::Span::enter("loadgen.fit");
-        let cfg = table3_configs(prepared.scale).xgboost;
-        Arc::new(ScoringModel::fit(&cfg, &prepared.bench_data()).expect("fit scoring model"))
+        let data = prepared.bench_data();
+        let cfgs = table3_configs(prepared.scale);
+        Arc::new(match serve_cfg.model {
+            ServeModel::Gbdt => ScoringModel::fit(&cfgs.xgboost, &data).expect("fit scoring model"),
+            m => {
+                let fitted = PlmBaseline::new(cfgs.deberta)
+                    .fit(&data)
+                    .expect("fit plm baseline");
+                ScoringModel::from_plm(&fitted, data.splits.config.window, m.quantized())
+            }
+        })
     };
     // The serving phase owns the latency story: drop the fit-phase
     // histograms (training rounds, feature batches) so the report and
@@ -72,13 +98,30 @@ fn main() {
 
     let posts = replay_stream(&prepared.dataset);
     let per_round = posts.len() as u64;
-    let total = per_round * rounds;
-    eprintln!(
-        "loadgen: {} posts x {} round(s) at {} QPS (shards {}, lru {}, batch {})",
-        per_round, rounds, qps, serve_cfg.shards, serve_cfg.lru_capacity, serve_cfg.batch_max
-    );
+    match soak_ms {
+        None => eprintln!(
+            "loadgen: {} posts x {} round(s) at {} QPS via {} (shards {}, lru {}, batch {})",
+            per_round,
+            rounds,
+            qps,
+            serve_cfg.model.name(),
+            serve_cfg.shards,
+            serve_cfg.lru_capacity,
+            serve_cfg.batch_max
+        ),
+        Some(ms) => eprintln!(
+            "loadgen: soaking {}ms at {} QPS via {} (p99 SLO {:.1}ms, shards {}, lru {}, batch {})",
+            ms,
+            qps,
+            serve_cfg.model.name(),
+            slo_p99_ms,
+            serve_cfg.shards,
+            serve_cfg.lru_capacity,
+            serve_cfg.batch_max
+        ),
+    }
 
-    let service = RiskService::start(Arc::clone(&model), serve_cfg);
+    let service = RiskService::start(Arc::clone(&model), serve_cfg.clone());
     let results = service.results();
     let consumer = thread::spawn(move || {
         let mut levels = [0u64; RiskLevel::COUNT];
@@ -91,25 +134,55 @@ fn main() {
     let mut source = VecSource::new("loadgen.replay", posts);
     let t0 = Instant::now();
     let mut sent = 0u64;
-    for round in 0..rounds {
-        if round > 0 {
-            source.rewind();
+    let pace_and_submit = |post, sent: &mut u64| {
+        let deadline = t0 + Duration::from_secs_f64(*sent as f64 / qps as f64);
+        let wait = deadline.saturating_duration_since(Instant::now());
+        if !wait.is_zero() {
+            thread::sleep(wait);
         }
-        while let Some(post) = source.next().expect("replay source") {
-            let deadline = t0 + Duration::from_secs_f64(sent as f64 / qps as f64);
-            let wait = deadline.saturating_duration_since(Instant::now());
-            if !wait.is_zero() {
-                thread::sleep(wait);
+        service.submit(post).expect("service draining early");
+        *sent += 1;
+    };
+    match soak_ms {
+        None => {
+            for round in 0..rounds {
+                if round > 0 {
+                    source.rewind();
+                }
+                while let Some(post) = source.next().expect("replay source") {
+                    pace_and_submit(post, &mut sent);
+                }
             }
-            service.submit(post).expect("service draining early");
-            sent += 1;
+        }
+        Some(ms) => {
+            // Sustained soak: rewind and replay until the clock runs out.
+            let end = t0 + Duration::from_millis(ms);
+            'soak: loop {
+                while let Some(post) = source.next().expect("replay source") {
+                    if Instant::now() >= end {
+                        break 'soak;
+                    }
+                    pace_and_submit(post, &mut sent);
+                }
+                source.rewind();
+            }
         }
     }
+    let total = if soak_ms.is_some() {
+        sent
+    } else {
+        per_round * rounds
+    };
     let report = service.drain();
     let elapsed = t0.elapsed();
     let levels = consumer.join().expect("result consumer panicked");
     assert_eq!(report.scored, total, "every submitted post must score");
     assert_eq!(levels.iter().sum::<u64>(), total, "every score must emit");
+    let ring_dropped = rsd_obs::ring::global().dropped();
+    assert_eq!(
+        ring_dropped, 0,
+        "telemetry event ring shed {ring_dropped} events under load"
+    );
 
     let achieved = report.scored as f64 / elapsed.as_secs_f64();
     println!(
@@ -127,6 +200,20 @@ fn main() {
             ms(0.50),
             ms(0.90),
             ms(0.99)
+        );
+        if soak_ms.is_some() {
+            let p99 = ms(0.99);
+            assert!(
+                p99 <= slo_p99_ms,
+                "soak SLO violated: request p99 {p99:.3}ms > {slo_p99_ms:.1}ms \
+                 (RSD_LOADGEN_SLO_P99_MS)"
+            );
+            println!("loadgen: soak p99 {p99:.3}ms within SLO {slo_p99_ms:.1}ms");
+        }
+    } else if soak_ms.is_some() {
+        panic!(
+            "RSD_LOADGEN_SOAK_MS asserts the p99 SLO from the serve.request \
+             histogram; set RSD_OBS_TICK_MS so latencies record"
         );
     }
     for (level, count) in RiskLevel::ALL.iter().zip(levels) {
@@ -149,6 +236,8 @@ fn main() {
     h.run
         .set("qps", Value::Int(qps as i128))
         .set("rounds", Value::Int(rounds as i128))
+        .set("model", Value::String(serve_cfg.model.name().to_string()))
+        .set("ring_dropped", Value::Int(ring_dropped as i128))
         .set("posts", Value::Int(total as i128))
         .set("users", Value::Int(prepared.dataset.n_users() as i128))
         .set("levels", Value::Object(level_map))

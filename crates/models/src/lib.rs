@@ -33,6 +33,7 @@ pub mod encoding;
 pub mod higru;
 pub mod logreg;
 pub mod plm;
+pub mod plm_infer;
 pub mod pretrain;
 pub mod scale;
 pub mod scorer;
@@ -43,7 +44,8 @@ pub use bilstm::{BiLstmBaseline, BiLstmConfig};
 pub use encoding::{EncodedWindow, TaskEncoder, TIME_FEATURE_DIM};
 pub use higru::{HiGruBaseline, HiGruConfig};
 pub use logreg::{LogRegBaseline, LogRegConfig};
-pub use plm::{PlmBaseline, PlmConfig, PlmKind};
-pub use scorer::{ScoreScratch, ScoringModel};
+pub use plm::{FittedPlm, PlmBaseline, PlmConfig, PlmKind};
+pub use plm_infer::{PlmInferenceModel, PlmScratch};
+pub use scorer::{ScoreScratch, ScoringModel, ServeModel};
 pub use trainer::{BenchData, EvalOutcome, TrainConfig};
 pub use xgboost::{XgboostBaseline, XgboostConfig};

@@ -130,7 +130,7 @@ impl PlmConfig {
     }
 }
 
-struct PlmModel {
+pub(crate) struct PlmModel {
     encoder: Encoder,
     time_proj: Linear,
     head: Linear,
@@ -214,8 +214,10 @@ impl PlmBaseline {
         PlmBaseline { cfg }
     }
 
-    /// Pretrain (if configured), fine-tune, and evaluate.
-    pub fn run(&self, data: &BenchData<'_>) -> Result<EvalOutcome> {
+    /// Pretrain (if configured) and fine-tune, returning the trained
+    /// artifact instead of discarding it — the inference fast path
+    /// ([`crate::plm_infer`]) exports frozen weights from this.
+    pub fn fit(&self, data: &BenchData<'_>) -> Result<FittedPlm> {
         let cfg = &self.cfg;
         // Vocabulary from the union of training texts and the pretraining
         // pool (a PLM's vocabulary comes from its pretraining corpus).
@@ -275,7 +277,6 @@ impl PlmBaseline {
         );
         let train = encoder.encode_all(data.dataset, &train_windows);
         let valid = encoder.encode_all(data.dataset, &data.splits.valid);
-        let test = encoder.encode_all(data.dataset, &data.splits.test);
 
         let forward = |tape: &mut Tape,
                        store: &ParamStore,
@@ -283,12 +284,86 @@ impl PlmBaseline {
                        rng: &mut StdRng| model.forward(tape, store, ex, rng);
         let history =
             train_classifier(&mut store, &forward, &train, &valid, &cfg.train, data.seed)?;
-
-        let mut eval_rng = stream_rng(data.seed, "plm.eval");
-        let confusion = evaluate(&store, &forward, &test, &mut eval_rng)?;
         extra.push(("epochs_run".to_string(), history.len().to_string()));
-        extra.push(("params".to_string(), store.n_scalars().to_string()));
-        Ok(outcome_from_confusion(cfg.kind.name(), confusion, extra))
+
+        Ok(FittedPlm {
+            cfg: self.cfg.clone(),
+            encoder,
+            store,
+            model,
+            extra,
+        })
+    }
+
+    /// Pretrain (if configured), fine-tune, and evaluate.
+    pub fn run(&self, data: &BenchData<'_>) -> Result<EvalOutcome> {
+        let fitted = self.fit(data)?;
+        let test = fitted.encoder.encode_all(data.dataset, &data.splits.test);
+
+        let model = &fitted.model;
+        let forward = |tape: &mut Tape,
+                       store: &ParamStore,
+                       ex: &EncodedWindow,
+                       rng: &mut StdRng| model.forward(tape, store, ex, rng);
+        let mut eval_rng = stream_rng(data.seed, "plm.eval");
+        let confusion = evaluate(&fitted.store, &forward, &test, &mut eval_rng)?;
+        let mut extra = fitted.extra.clone();
+        extra.push(("params".to_string(), fitted.store.n_scalars().to_string()));
+        Ok(outcome_from_confusion(
+            self.cfg.kind.name(),
+            confusion,
+            extra,
+        ))
+    }
+}
+
+/// A trained PLM kept whole — config, task encoder, parameter store and
+/// model structure — so serving can export frozen inference weights
+/// from it ([`crate::plm_infer::PlmInferenceModel::export`]).
+pub struct FittedPlm {
+    /// Hyperparameters the model was built with.
+    pub cfg: PlmConfig,
+    /// Tokenizer/vocabulary fitted on the training corpus.
+    pub encoder: TaskEncoder,
+    /// Trained parameters.
+    pub store: ParamStore,
+    pub(crate) model: PlmModel,
+    /// Training-stage diagnostics (mlm loss, epochs run, ...).
+    pub extra: Vec<(String, String)>,
+}
+
+impl FittedPlm {
+    /// A randomly initialised (untrained) PLM over a synthetic
+    /// vocabulary of `max_vocab` distinct words. Kernel benches and the
+    /// quantization parity tests need the *structure* and realistic
+    /// tensor shapes, not a fitted model; weights follow the usual init
+    /// distributions from `seed`.
+    pub fn synthetic(cfg: PlmConfig, seed: u64) -> FittedPlm {
+        let words: Vec<String> = (0..cfg.max_vocab + 100).map(|i| format!("w{i}")).collect();
+        let texts: Vec<String> = words.chunks(16).map(|chunk| chunk.join(" ")).collect();
+        let encoder = TaskEncoder::fit_on_texts(&texts, cfg.max_vocab, cfg.max_tokens);
+        let mut rng = stream_rng(seed, "plm.init");
+        let mut store = ParamStore::new();
+        let model = PlmModel::new(&mut store, &cfg, encoder.vocab.len(), &mut rng);
+        FittedPlm {
+            cfg,
+            encoder,
+            store,
+            model,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Reference logits through the full tape stack (`Tape::inference`)
+    /// — the status-quo path the inference engines are pinned against.
+    pub fn logits_tape(&self, example: &EncodedWindow) -> Vec<f32> {
+        let mut tape = Tape::inference();
+        // Dropout is identity in inference mode; the rng is never used.
+        let mut rng = stream_rng(0, "plm.infer");
+        let out = self
+            .model
+            .forward(&mut tape, &self.store, example, &mut rng);
+        tape.value(out).row(0).to_vec()
     }
 }
 

@@ -1,46 +1,125 @@
-//! The inference-only scoring entry point: a fitted feature extractor +
-//! booster pair with no training tape, reusable feature scratch buffers,
-//! and a micro-batched batch API on the `rsd-par` pool.
+//! The inference-only scoring entry point: a fitted artifact with no
+//! training tape, reusable scratch buffers, and a micro-batched batch
+//! API on the `rsd-par` pool — now routable across three backends.
 //!
-//! [`ScoringModel::fit`] is the *exact* training path of the table-3
-//! XGBoost baseline (same augmentation, TF-IDF fit, binning, early
-//! stopping, seed), factored out of
-//! [`XgboostBaseline::run`](crate::xgboost::XgboostBaseline) so the batch
-//! benchmark and the online serving path share one fitted artifact.
-//! Per-row prediction reads raw feature rows
-//! ([`Booster::predict_row`]), so [`score_windows`] over the test split
-//! is bit-identical to the baseline's `predict` over the binned test
-//! matrix.
+//! [`ServeModel`] selects the backend via `RSD_SERVE_MODEL`
+//! (`gbdt | plm-f32 | plm-int8`, hard-erroring on anything else):
+//!
+//! * `gbdt` — [`ScoringModel::fit`] is the *exact* training path of the
+//!   table-3 XGBoost baseline (same augmentation, TF-IDF fit, binning,
+//!   early stopping, seed), factored out of
+//!   [`XgboostBaseline::run`](crate::xgboost::XgboostBaseline) so the
+//!   batch benchmark and the online serving path share one fitted
+//!   artifact. Per-row prediction reads raw feature rows
+//!   ([`Booster::predict_row`]), so [`score_windows`] over the test
+//!   split is bit-identical to the baseline's `predict` over the binned
+//!   test matrix.
+//! * `plm-f32` — a trained PLM frozen through
+//!   [`PlmInferenceModel`](crate::plm_infer::PlmInferenceModel), scored
+//!   on the tape-free f32 reference path (bit-identical to the tape).
+//! * `plm-int8` — the same frozen artifact on the per-channel int8
+//!   kernels: the fast path, gated against `plm-f32` by the quality
+//!   epsilon knobs (`RSD_QUANT_EPS`, `RSD_QUANT_MIN_AGREE`).
 //!
 //! [`score_windows`]: ScoringModel::score_windows
 
-use rsd_common::{Result, Timestamp};
+use rsd_common::{Result, RsdError, Timestamp};
 use rsd_dataset::{Rsd15k, UserWindow};
 use rsd_features::FeatureExtractor;
 use rsd_gbdt::{BinnedMatrix, Booster};
 
+use crate::plm::FittedPlm;
+use crate::plm_infer::{PlmInferenceModel, PlmScratch};
 use crate::trainer::{augment_train_windows, BenchData};
 use crate::xgboost::XgboostConfig;
 
-/// Reusable per-worker scratch for streaming scoring: one feature row,
-/// reused across requests to avoid per-request allocation.
+/// Which scoring backend serves requests (`RSD_SERVE_MODEL`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeModel {
+    /// The table-3 XGBoost artifact (feature extractor + booster).
+    Gbdt,
+    /// Frozen PLM on the f32 reference inference path.
+    PlmF32,
+    /// Frozen PLM on the per-channel int8 fast path.
+    PlmInt8,
+}
+
+impl ServeModel {
+    /// The env knob that selects the backend.
+    pub const KNOB: &'static str = "RSD_SERVE_MODEL";
+    /// Valid knob spellings, in [`ServeModel`] declaration order.
+    pub const CHOICES: &'static [&'static str] = &["gbdt", "plm-f32", "plm-int8"];
+
+    /// Resolve from `RSD_SERVE_MODEL`. Unset defaults to `gbdt`; a set
+    /// but unknown value aborts naming the knob and the valid spellings.
+    pub fn from_env() -> ServeModel {
+        Self::from_name(rsd_obs::knob::choice_env(Self::KNOB, Self::CHOICES, "gbdt"))
+            .expect("choice_env only returns listed spellings")
+    }
+
+    /// Parse one of the [`Self::CHOICES`] spellings.
+    pub fn from_name(name: &str) -> Result<ServeModel> {
+        match name {
+            "gbdt" => Ok(ServeModel::Gbdt),
+            "plm-f32" => Ok(ServeModel::PlmF32),
+            "plm-int8" => Ok(ServeModel::PlmInt8),
+            other => Err(RsdError::config(
+                Self::KNOB,
+                format!(
+                    "unknown model {other:?}; expected one of {}",
+                    Self::CHOICES.join(" | ")
+                ),
+            )),
+        }
+    }
+
+    /// The canonical knob spelling.
+    pub fn name(self) -> &'static str {
+        Self::CHOICES[self as usize]
+    }
+
+    /// Whether this backend runs the int8 quantized kernels.
+    pub fn quantized(self) -> bool {
+        self == ServeModel::PlmInt8
+    }
+
+    /// Whether this backend scores with the frozen PLM.
+    pub fn is_plm(self) -> bool {
+        self != ServeModel::Gbdt
+    }
+}
+
+/// Reusable per-worker scratch for streaming scoring: one feature row
+/// for the GBDT backend plus the PLM activation buffers, reused across
+/// requests to avoid per-request allocation.
 #[derive(Default)]
 pub struct ScoreScratch {
     row: Vec<f32>,
+    plm: PlmScratch,
 }
 
-/// A fitted extractor + booster pair, stripped to what inference needs.
+enum Backend {
+    Gbdt {
+        extractor: FeatureExtractor,
+        booster: Booster,
+    },
+    Plm {
+        engine: PlmInferenceModel,
+        quantized: bool,
+    },
+}
+
+/// A fitted scoring artifact, stripped to what inference needs.
 pub struct ScoringModel {
-    extractor: FeatureExtractor,
-    booster: Booster,
+    backend: Backend,
     window: usize,
 }
 
 impl ScoringModel {
-    /// Fit on the bench data — the table-3 XGBoost training path,
-    /// verbatim: post-level augmentation of the train split, TF-IDF fit
-    /// on the augmented windows, 64-bin histograms, early stopping on
-    /// the validation split, seed from the bench data.
+    /// Fit the GBDT backend on the bench data — the table-3 XGBoost
+    /// training path, verbatim: post-level augmentation of the train
+    /// split, TF-IDF fit on the augmented windows, 64-bin histograms,
+    /// early stopping on the validation split, seed from the bench data.
     pub fn fit(cfg: &XgboostConfig, data: &BenchData<'_>) -> Result<ScoringModel> {
         let mut cfg = cfg.clone();
         cfg.booster.seed = data.seed;
@@ -62,20 +141,65 @@ impl ScoringModel {
         let booster = Booster::fit(&train, &y_train, Some((&valid, &y_valid)), cfg.booster)?;
 
         Ok(ScoringModel {
-            extractor,
-            booster,
+            backend: Backend::Gbdt { extractor, booster },
             window: data.splits.config.window,
         })
     }
 
-    /// The fitted feature extractor.
-    pub fn extractor(&self) -> &FeatureExtractor {
-        &self.extractor
+    /// Wrap a trained PLM as the serving artifact: freeze its weights
+    /// through [`PlmInferenceModel::export`] and score on the f32
+    /// reference path or the int8 fast path per `quantized`.
+    pub fn from_plm(fitted: &FittedPlm, window: usize, quantized: bool) -> ScoringModel {
+        ScoringModel {
+            backend: Backend::Plm {
+                engine: PlmInferenceModel::export(fitted),
+                quantized,
+            },
+            window,
+        }
     }
 
-    /// The fitted booster.
+    /// Which backend this artifact scores with.
+    pub fn model(&self) -> ServeModel {
+        match &self.backend {
+            Backend::Gbdt { .. } => ServeModel::Gbdt,
+            Backend::Plm {
+                quantized: false, ..
+            } => ServeModel::PlmF32,
+            Backend::Plm {
+                quantized: true, ..
+            } => ServeModel::PlmInt8,
+        }
+    }
+
+    /// The fitted feature extractor (GBDT backend only).
+    ///
+    /// # Panics
+    /// If this artifact scores with the PLM backend.
+    pub fn extractor(&self) -> &FeatureExtractor {
+        match &self.backend {
+            Backend::Gbdt { extractor, .. } => extractor,
+            Backend::Plm { .. } => panic!("extractor(): PLM backend has no feature extractor"),
+        }
+    }
+
+    /// The fitted booster (GBDT backend only).
+    ///
+    /// # Panics
+    /// If this artifact scores with the PLM backend.
     pub fn booster(&self) -> &Booster {
-        &self.booster
+        match &self.backend {
+            Backend::Gbdt { booster, .. } => booster,
+            Backend::Plm { .. } => panic!("booster(): PLM backend has no booster"),
+        }
+    }
+
+    /// The frozen PLM inference engine (PLM backends only).
+    pub fn plm_engine(&self) -> Option<&PlmInferenceModel> {
+        match &self.backend {
+            Backend::Gbdt { .. } => None,
+            Backend::Plm { engine, .. } => Some(engine),
+        }
     }
 
     /// The window size the model was fitted for.
@@ -84,19 +208,29 @@ impl ScoringModel {
     }
 
     /// Score a batch of windows, micro-batched on the `rsd-par` pool
-    /// with one reused scratch row per chunk. Returns predicted class
+    /// with one reused scratch per chunk. Returns predicted class
     /// indices, aligned with `windows`. Per-row work is self-contained,
     /// so results are bit-identical across thread counts and chunk
-    /// boundaries — and identical to the baseline's binned-matrix
-    /// `predict`, which also reads raw rows.
+    /// boundaries — for the GBDT backend also identical to the
+    /// baseline's binned-matrix `predict`, which reads the same raw
+    /// rows; for the int8 backend identical across batch partitionings
+    /// because integer accumulation is exact.
     pub fn score_windows(&self, dataset: &Rsd15k, windows: &[UserWindow]) -> Vec<usize> {
         let mut preds = vec![0usize; windows.len()];
         rsd_par::parallel_chunks_mut(&mut preds, 16, |start, chunk| {
             let mut scratch = ScoreScratch::default();
             for (off, slot) in chunk.iter_mut().enumerate() {
                 let w = &windows[start + off];
-                self.extractor.transform_into(dataset, w, &mut scratch.row);
-                *slot = self.booster.predict_row(&scratch.row);
+                *slot = match &self.backend {
+                    Backend::Gbdt { extractor, booster } => {
+                        extractor.transform_into(dataset, w, &mut scratch.row);
+                        booster.predict_row(&scratch.row)
+                    }
+                    Backend::Plm { engine, quantized } => {
+                        let encoded = engine.encoder().encode(dataset, w);
+                        engine.score(&encoded, *quantized, &mut scratch.plm)
+                    }
+                };
             }
         });
         preds
@@ -113,15 +247,23 @@ impl ScoringModel {
         total_posts: usize,
         scratch: &mut ScoreScratch,
     ) -> usize {
-        self.extractor
-            .transform_stream_into(texts, timestamps, total_posts, &mut scratch.row);
-        self.booster.predict_row(&scratch.row)
+        match &self.backend {
+            Backend::Gbdt { extractor, booster } => {
+                extractor.transform_stream_into(texts, timestamps, total_posts, &mut scratch.row);
+                booster.predict_row(&scratch.row)
+            }
+            Backend::Plm { engine, quantized } => {
+                let encoded = engine.encode_stream(texts, timestamps);
+                engine.score(&encoded, *quantized, &mut scratch.plm)
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plm::{PlmConfig, PlmKind};
     use rsd_dataset::{BuildConfig, DatasetBuilder, DatasetSplits, SplitConfig};
     use rsd_gbdt::BoosterConfig;
 
@@ -139,6 +281,22 @@ mod tests {
     }
 
     #[test]
+    fn serve_model_spellings_round_trip() {
+        for (&spelling, model) in ServeModel::CHOICES.iter().zip([
+            ServeModel::Gbdt,
+            ServeModel::PlmF32,
+            ServeModel::PlmInt8,
+        ]) {
+            assert_eq!(ServeModel::from_name(spelling).unwrap(), model);
+            assert_eq!(model.name(), spelling);
+        }
+        assert!(ServeModel::from_name("xgboost").is_err());
+        assert!(ServeModel::PlmInt8.quantized());
+        assert!(!ServeModel::PlmF32.quantized());
+        assert!(!ServeModel::Gbdt.is_plm());
+    }
+
+    #[test]
     fn stream_scoring_matches_batch_scoring() {
         let (dataset, _) = DatasetBuilder::new(BuildConfig::scaled(31, 2_000, 40))
             .build()
@@ -151,6 +309,7 @@ mod tests {
             seed: 31,
         };
         let model = ScoringModel::fit(&small_cfg(), &data).unwrap();
+        assert_eq!(model.model(), ServeModel::Gbdt);
         let batch = model.score_windows(&dataset, &splits.test);
         let mut scratch = ScoreScratch::default();
         for (w, &expect) in splits.test.iter().zip(&batch) {
@@ -167,6 +326,49 @@ mod tests {
                 .unwrap();
             let got = model.score_stream(&texts, &w.timestamps, total, &mut scratch);
             assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn plm_stream_scoring_matches_batch_scoring_both_paths() {
+        let (dataset, _) = DatasetBuilder::new(BuildConfig::scaled(33, 2_000, 40))
+            .build()
+            .unwrap();
+        let splits = DatasetSplits::new(&dataset, SplitConfig::default()).unwrap();
+        let cfg = PlmConfig {
+            max_vocab: 300,
+            max_tokens: 10,
+            window_tokens: 20,
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            ffn_dim: 32,
+            radius: 4,
+            ..PlmConfig::base(PlmKind::Deberta)
+        };
+        let fitted = FittedPlm::synthetic(cfg, 33);
+        for quantized in [false, true] {
+            let model = ScoringModel::from_plm(&fitted, splits.config.window, quantized);
+            assert_eq!(
+                model.model(),
+                if quantized {
+                    ServeModel::PlmInt8
+                } else {
+                    ServeModel::PlmF32
+                }
+            );
+            let windows = &splits.test[..splits.test.len().min(12)];
+            let batch = model.score_windows(&dataset, windows);
+            let mut scratch = ScoreScratch::default();
+            for (w, &expect) in windows.iter().zip(&batch) {
+                let texts: Vec<&str> = w
+                    .post_indices
+                    .iter()
+                    .map(|&i| dataset.posts[i].text.as_str())
+                    .collect();
+                let got = model.score_stream(&texts, &w.timestamps, 0, &mut scratch);
+                assert_eq!(got, expect, "quantized={quantized}");
+            }
         }
     }
 

@@ -1,0 +1,99 @@
+//! Partition invariance of the quantized scorer: int8 window logits and
+//! batch scores must be bitwise identical whether windows run serially,
+//! on 1- or 4-thread pools, through reused or fresh scratch buffers, or
+//! split across separate `score_windows` calls. Integer accumulation
+//! makes this exact, so every comparison here is equality, not epsilon.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rsd_models::encoding::TIME_FEATURE_DIM;
+use rsd_models::{EncodedWindow, FittedPlm, PlmConfig, PlmInferenceModel, PlmKind, PlmScratch};
+
+/// One frozen synthetic engine for the whole file: the property is
+/// about execution shape, not weights, and export is the slow part.
+fn engine() -> &'static (PlmInferenceModel, usize) {
+    static ENGINE: OnceLock<(PlmInferenceModel, usize)> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let fitted = FittedPlm::synthetic(PlmConfig::base(PlmKind::Deberta), 23);
+        let vocab = fitted.encoder.vocab.len();
+        (PlmInferenceModel::export(&fitted), vocab)
+    })
+}
+
+/// Deterministic pseudo-random window (mirrors the bench generator).
+fn pseudo_window(vocab: usize, posts: usize, tokens: usize, salt: u64) -> EncodedWindow {
+    let hash = |i: u64| {
+        (i ^ salt)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(21)
+    };
+    EncodedWindow {
+        post_tokens: (0..posts)
+            .map(|p| {
+                (0..tokens)
+                    .map(|t| (hash((p * tokens + t) as u64) % vocab as u64) as u32)
+                    .collect()
+            })
+            .collect(),
+        time_feats: (0..posts)
+            .map(|p| {
+                std::array::from_fn(|d| {
+                    let h = hash((100_000 + p * TIME_FEATURE_DIM + d) as u64);
+                    ((h % 1000) as f32) / 500.0 - 1.0
+                })
+            })
+            .collect(),
+        label: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    fn int8_scores_identical_across_pools_and_batch_splits(
+        n in 1usize..20,
+        posts in 1usize..4,
+        split_frac in 0.0f64..1.0,
+        salt in 0u64..u64::MAX,
+    ) {
+        let (engine, vocab) = engine();
+        let windows: Vec<EncodedWindow> = (0..n)
+            .map(|i| pseudo_window(*vocab, posts, 12, salt ^ (i as u64) << 8))
+            .collect();
+
+        // Per-window logits: reused scratch vs fresh scratch per call.
+        let mut reused = PlmScratch::default();
+        let with_reuse: Vec<Vec<u32>> = windows
+            .iter()
+            .map(|w| engine.logits_i8(w, &mut reused).iter().map(|v| v.to_bits()).collect())
+            .collect();
+        let with_fresh: Vec<Vec<u32>> = windows
+            .iter()
+            .map(|w| {
+                engine
+                    .logits_i8(w, &mut PlmScratch::default())
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect();
+        prop_assert_eq!(&with_reuse, &with_fresh);
+
+        // Batch scores: serial, 1-thread pool, 4-thread pool.
+        let serial = rsd_par::run_serial(|| engine.score_windows(&windows, true));
+        let pool1 = rsd_par::with_local_pool(1, || engine.score_windows(&windows, true));
+        let pool4 = rsd_par::with_local_pool(4, || engine.score_windows(&windows, true));
+        prop_assert_eq!(&serial, &pool1);
+        prop_assert_eq!(&serial, &pool4);
+
+        // Splitting the batch at an arbitrary point and concatenating
+        // must reproduce the one-shot scores.
+        let cut = ((n as f64) * split_frac) as usize;
+        let mut split = rsd_par::with_local_pool(4, || engine.score_windows(&windows[..cut], true));
+        split.extend(rsd_par::with_local_pool(4, || {
+            engine.score_windows(&windows[cut..], true)
+        }));
+        prop_assert_eq!(&serial, &split);
+    }
+}

@@ -24,23 +24,32 @@
 //!   used by the PLM baselines, plus the MLM pretraining head.
 //! * [`optim`] — SGD and Adam; [`schedule`] — warmup/decay LR schedules.
 //! * [`loss`] — cross-entropy from logits.
+//! * [`infer`] — frozen-weight inference: [`infer::InferenceModel`]
+//!   snapshots a trained store with no tape or optimizer state, and the
+//!   tape-free op helpers replicate the training forward bit-for-bit.
+//! * [`quant`] — per-channel symmetric int8 quantization and the
+//!   i8×i8→i32 GEMM kernels behind the inference fast path.
 //!
 //! Everything is seed-deterministic and single-threaded (the reproduction
 //! environment is a single-core machine); sizes are chosen so the full
 //! Table III benchmark trains on CPU in minutes.
 
 pub mod attention;
+pub mod infer;
 pub mod layers;
 pub mod loss;
 pub mod matrix;
 pub mod optim;
 pub mod params;
+pub mod quant;
 pub mod rnn;
 pub mod schedule;
 pub mod tape;
 pub mod transformer;
 
+pub use infer::{FrozenParams, InferenceModel};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
+pub use quant::QuantizedMatrix;
 pub use tape::{Tape, Var};

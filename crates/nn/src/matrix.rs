@@ -467,9 +467,12 @@ unsafe fn matmul_2rows_dense_fma(
 }
 
 /// Cached `is_x86_feature_detected!("avx2") && ("fma")`: 0 unknown,
-/// 1 no, 2 yes.
+/// 1 no, 2 yes. Public because every SIMD kernel in the crate — the f32
+/// matmul rows here and the int8 inference GEMMs in [`crate::quant`] —
+/// dispatches through this one check, so a host either takes all the
+/// wide paths or none of them.
 #[cfg(target_arch = "x86_64")]
-fn fma_available() -> bool {
+pub fn fma_available() -> bool {
     use std::sync::atomic::{AtomicU8, Ordering};
     static FMA: AtomicU8 = AtomicU8::new(0);
     match FMA.load(Ordering::Relaxed) {
@@ -482,6 +485,44 @@ fn fma_available() -> bool {
             yes
         }
     }
+}
+
+/// Non-x86 hosts have no AVX2/FMA path; the portable kernels are the
+/// only (and bit-identical) implementation there.
+#[cfg(not(target_arch = "x86_64"))]
+pub fn fma_available() -> bool {
+    false
+}
+
+/// Cached check for the AVX-512 int8 tier: F + BW (16-bit lanes in zmm),
+/// VL (masked 256-bit loads for tails) and VNNI (`vpdpwssd`, the fused
+/// i16-pair multiply-accumulate). Only the integer inference kernels in
+/// [`crate::quant`] dispatch on this — integer accumulation is exact, so
+/// the wider tier is bit-identical to both the AVX2 and portable paths.
+/// The f32 kernels deliberately stay on the AVX2 tier: reassociating
+/// float sums across 16 lanes would shift training numerics.
+#[cfg(target_arch = "x86_64")]
+pub fn vnni512_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static VNNI: AtomicU8 = AtomicU8::new(0);
+    match VNNI.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let yes = std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+                && std::arch::is_x86_feature_detected!("avx512vnni");
+            VNNI.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+    }
+}
+
+/// See [`fma_available`]: no x86, no wide integer tier either.
+#[cfg(not(target_arch = "x86_64"))]
+pub fn vnni512_available() -> bool {
+    false
 }
 
 /// 4-accumulator dot product. Accumulator layout is fixed, so the result

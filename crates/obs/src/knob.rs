@@ -37,6 +37,56 @@ pub fn positive_or_default(var: &str, raw: Option<String>, default: u64) -> u64 
     optional_positive(var, raw).unwrap_or(default)
 }
 
+/// Parse `raw` (from env var `var`) as one of `choices`. Unset or empty
+/// resolves to `default`; anything else must match a choice exactly
+/// (after trimming) or the process aborts naming the knob *and* the
+/// valid spellings.
+pub fn choice(
+    var: &str,
+    raw: Option<String>,
+    choices: &[&'static str],
+    default: &'static str,
+) -> &'static str {
+    debug_assert!(choices.contains(&default));
+    let Some(raw) = raw else { return default };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return default;
+    }
+    match choices.iter().find(|&&c| c == trimmed) {
+        Some(&c) => c,
+        None => panic!(
+            "invalid {var} value {raw:?}; expected one of {}",
+            choices.join(" | ")
+        ),
+    }
+}
+
+/// [`choice`] reading the environment directly.
+pub fn choice_env(var: &str, choices: &[&'static str], default: &'static str) -> &'static str {
+    choice(var, std::env::var(var).ok(), choices, default)
+}
+
+/// Parse `raw` (from env var `var`) as a positive finite float. Unset or
+/// empty resolves to `default`; anything else must parse as a float
+/// `> 0` or the process aborts naming the knob.
+pub fn positive_float(var: &str, raw: Option<String>, default: f64) -> f64 {
+    let Some(raw) = raw else { return default };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return default;
+    }
+    match trimmed.parse::<f64>() {
+        Ok(v) if v > 0.0 && v.is_finite() => v,
+        _ => panic!("invalid {var} value {raw:?}; expected a positive number"),
+    }
+}
+
+/// [`positive_float`] reading the environment directly.
+pub fn positive_float_env(var: &str, default: f64) -> f64 {
+    positive_float(var, std::env::var(var).ok(), default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,6 +106,59 @@ mod tests {
         assert_eq!(positive_or_default("K", None, 7), 7);
         assert_eq!(positive_or_default("K", Some("off".into()), 7), 7);
         assert_eq!(positive_or_default("K", Some("3".into()), 7), 3);
+    }
+
+    #[test]
+    fn choice_accepts_listed_values_and_defaults_when_unset() {
+        const MODELS: &[&str] = &["gbdt", "plm-f32", "plm-int8"];
+        assert_eq!(choice("K", None, MODELS, "gbdt"), "gbdt");
+        assert_eq!(choice("K", Some("".into()), MODELS, "gbdt"), "gbdt");
+        assert_eq!(choice("K", Some("  ".into()), MODELS, "gbdt"), "gbdt");
+        assert_eq!(
+            choice("K", Some("plm-int8".into()), MODELS, "gbdt"),
+            "plm-int8"
+        );
+        assert_eq!(
+            choice("K", Some(" plm-f32 ".into()), MODELS, "gbdt"),
+            "plm-f32"
+        );
+    }
+
+    #[test]
+    fn choice_garbage_names_the_knob_and_the_valid_spellings() {
+        for bad in ["plm", "PLM-INT8", "int8", "xgboost"] {
+            let err = std::panic::catch_unwind(|| {
+                choice(
+                    "RSD_SERVE_MODEL",
+                    Some(bad.to_string()),
+                    &["gbdt", "plm-f32", "plm-int8"],
+                    "gbdt",
+                )
+            })
+            .expect_err("must panic");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("RSD_SERVE_MODEL"), "names the knob: {msg}");
+            assert!(msg.contains("plm-int8"), "lists the choices: {msg}");
+        }
+    }
+
+    #[test]
+    fn positive_float_parses_and_defaults() {
+        assert_eq!(positive_float("K", None, 0.05), 0.05);
+        assert_eq!(positive_float("K", Some("".into()), 0.05), 0.05);
+        assert_eq!(positive_float("K", Some("2.5".into()), 0.05), 2.5);
+        assert_eq!(positive_float("K", Some(" 99 ".into()), 0.0), 99.0);
+        for bad in ["banana", "-1.5", "0", "0.0", "inf", "NaN"] {
+            let err = std::panic::catch_unwind(|| {
+                positive_float("RSD_QUANT_EPS", Some(bad.to_string()), 0.05)
+            })
+            .expect_err("must panic");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("RSD_QUANT_EPS"),
+                "names the knob for {bad:?}: {msg}"
+            );
+        }
     }
 
     #[test]

@@ -27,18 +27,43 @@ fn effective_threads() -> usize {
     }
 }
 
-/// Short git revision of the working tree, or `"unknown"` outside a
-/// repo / without git.
-fn git_rev() -> String {
+/// Run one git subcommand and return its trimmed stdout, or `None` if
+/// git is missing, fails, or prints nothing usable.
+fn git_capture(args: &[&str]) -> Option<String> {
     std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
+        .args(args)
         .output()
         .ok()
         .filter(|o| o.status.success())
         .and_then(|o| String::from_utf8(o.stdout).ok())
         .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Decorate a short revision with the working-tree state: `status` is
+/// `git status --porcelain` output (`None` when the check itself
+/// failed, which leaves the revision undecorated rather than guessing).
+/// Any non-empty porcelain output — staged, unstaged, or untracked —
+/// marks the artifact as not reproducible from the commit alone.
+fn decorate_rev(rev: String, status: Option<&str>) -> String {
+    match status {
+        Some(s) if !s.trim().is_empty() => format!("{rev}-dirty"),
+        _ => rev,
+    }
+}
+
+/// Short git revision of the working tree, suffixed `-dirty` when the
+/// tree has uncommitted changes, or `"unknown"` outside a repo /
+/// without git. Committed baselines carry this through `meta.git_rev`,
+/// so a benchmark regenerated from a half-edited tree is visibly
+/// tainted in any later diff.
+fn git_rev() -> String {
+    match git_capture(&["rev-parse", "--short", "HEAD"]).filter(|s| !s.is_empty()) {
+        Some(rev) => {
+            let status = git_capture(&["status", "--porcelain"]);
+            decorate_rev(rev, status.as_deref())
+        }
+        None => "unknown".to_string(),
+    }
 }
 
 /// The environment block every report (and `BENCH_kernels.json`)
@@ -164,5 +189,49 @@ impl RunReport {
         file.write_all(self.to_value().to_json_pretty().as_bytes())?;
         file.write_all(b"\n")?;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_status_leaves_rev_undecorated() {
+        assert_eq!(decorate_rev("abc1234".into(), Some("")), "abc1234");
+        assert_eq!(decorate_rev("abc1234".into(), Some("  \n")), "abc1234");
+    }
+
+    #[test]
+    fn any_porcelain_output_marks_dirty() {
+        for status in [
+            " M crates/nn/src/quant.rs",
+            "?? scratch.txt",
+            "A  new.rs\n M old.rs",
+        ] {
+            assert_eq!(
+                decorate_rev("abc1234".into(), Some(status)),
+                "abc1234-dirty",
+                "status {status:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_status_check_does_not_guess() {
+        assert_eq!(decorate_rev("abc1234".into(), None), "abc1234");
+    }
+
+    #[test]
+    fn git_rev_matches_decorated_shape() {
+        // Inside this repo the revision is short-hex with an optional
+        // -dirty suffix; outside any repo it is "unknown". Accept both
+        // so the test is environment-independent.
+        let rev = git_rev();
+        let hex = rev.strip_suffix("-dirty").unwrap_or(&rev);
+        assert!(
+            hex == "unknown" || (hex.len() >= 4 && hex.chars().all(|c| c.is_ascii_hexdigit())),
+            "unexpected git_rev {rev:?}"
+        );
     }
 }

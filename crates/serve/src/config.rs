@@ -3,6 +3,7 @@
 //! itself and abort, never silently fall back to a default).
 
 use rsd_common::{Result, RsdError};
+use rsd_models::ServeModel;
 
 /// Configuration for [`RiskService`](crate::RiskService).
 #[derive(Debug, Clone)]
@@ -18,6 +19,11 @@ pub struct ServeConfig {
     /// Bounded-channel capacity for ingress and results
     /// (`RSD_SERVE_CHANNEL_CAP`, default 1024).
     pub channel_cap: usize,
+    /// Scoring backend the service is expected to run
+    /// (`RSD_SERVE_MODEL`: `gbdt | plm-f32 | plm-int8`, default `gbdt`).
+    /// The fitting side (loadgen, deployment harness) routes on this to
+    /// build the matching [`ScoringModel`](rsd_models::ScoringModel).
+    pub model: ServeModel,
 }
 
 impl Default for ServeConfig {
@@ -27,6 +33,7 @@ impl Default for ServeConfig {
             lru_capacity: 65_536,
             batch_max: 64,
             channel_cap: 1024,
+            model: ServeModel::Gbdt,
         }
     }
 }
@@ -41,7 +48,19 @@ impl ServeConfig {
             lru_capacity: positive_env("RSD_SERVE_LRU", d.lru_capacity)?,
             batch_max: positive_env("RSD_SERVE_BATCH", d.batch_max)?,
             channel_cap: positive_env("RSD_SERVE_CHANNEL_CAP", d.channel_cap)?,
+            model: model_env(d.model)?,
         })
+    }
+}
+
+/// Parse `RSD_SERVE_MODEL`, defaulting when unset or blank. A set but
+/// unknown spelling is a configuration error naming the knob and the
+/// valid choices.
+fn model_env(default: ServeModel) -> Result<ServeModel> {
+    match std::env::var(ServeModel::KNOB) {
+        Err(_) => Ok(default),
+        Ok(raw) if raw.trim().is_empty() => Ok(default),
+        Ok(raw) => ServeModel::from_name(raw.trim()),
     }
 }
 
@@ -99,5 +118,22 @@ mod tests {
         for var in ["RSD_SERVE_SHARDS", "RSD_SERVE_LRU", "RSD_SERVE_BATCH"] {
             std::env::remove_var(var);
         }
+
+        // Model routing knob: defaults, valid spellings, named errors.
+        std::env::remove_var(ServeModel::KNOB);
+        assert_eq!(ServeConfig::from_env().unwrap().model, ServeModel::Gbdt);
+        std::env::set_var(ServeModel::KNOB, "");
+        assert_eq!(ServeConfig::from_env().unwrap().model, ServeModel::Gbdt);
+        std::env::set_var(ServeModel::KNOB, " plm-int8 ");
+        assert_eq!(ServeConfig::from_env().unwrap().model, ServeModel::PlmInt8);
+        std::env::set_var(ServeModel::KNOB, "plm-f32");
+        assert_eq!(ServeConfig::from_env().unwrap().model, ServeModel::PlmF32);
+        std::env::set_var(ServeModel::KNOB, "resnet");
+        let err = ServeConfig::from_env().unwrap_err().to_string();
+        assert!(
+            err.contains("RSD_SERVE_MODEL") && err.contains("plm-int8"),
+            "error must name the knob and the choices: {err}"
+        );
+        std::env::remove_var(ServeModel::KNOB);
     }
 }

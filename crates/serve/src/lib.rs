@@ -15,9 +15,12 @@
 //!   latest-`W` selection the batch split path runs, sharded with a
 //!   deterministic hot-user LRU;
 //! * scoring goes through the `rsd-models`
-//!   [`ScoringModel`](rsd_models::ScoringModel) — the table-3 XGBoost
-//!   artifact's inference-only entry point, micro-batched on the
-//!   `rsd-par` pool with reusable feature scratch.
+//!   [`ScoringModel`](rsd_models::ScoringModel) — the inference-only
+//!   entry point, micro-batched on the `rsd-par` pool with reusable
+//!   scratch. `RSD_SERVE_MODEL` routes it across three backends: the
+//!   table-3 XGBoost artifact (`gbdt`, default), the frozen PLM on the
+//!   f32 reference path (`plm-f32`), or the same frozen PLM on the
+//!   per-channel int8 fast path (`plm-int8`).
 //!
 //! Scores are a pure function of the submitted post sequence: batch
 //! boundaries, thread counts, and wall-clock timing cannot change them.

@@ -323,6 +323,7 @@ mod tests {
             lru_capacity: 4096,
             batch_max: 16,
             channel_cap: n + 1, // no consumer until after drain
+            ..ServeConfig::default()
         };
         let service = RiskService::start(model, cfg);
         let results = service.results();
@@ -353,6 +354,7 @@ mod tests {
                 lru_capacity: 4096,
                 batch_max,
                 channel_cap: n + 1,
+                ..ServeConfig::default()
             };
             let service = RiskService::start(Arc::clone(&model), cfg);
             let results = service.results();
@@ -377,6 +379,7 @@ mod tests {
             lru_capacity: 4, // far fewer than the user count
             batch_max: 8,
             channel_cap: n + 1,
+            ..ServeConfig::default()
         };
         let service = RiskService::start(model, cfg);
         let results = service.results();

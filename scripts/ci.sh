@@ -136,6 +136,38 @@ cargo run --release -q -p rsd-bench --bin obs_diff -- \
 cargo run --release -q -p rsd-bench --bin obs_diff -- --self-test \
     bench_runs/small/loadgen.series.ndjson
 
+echo "==> int8 inference parity (f32-vs-int8 + partition/quant properties)"
+# Targeted re-runs of the quantization contract: the tape-free f32
+# engine's bitwise tape parity, int8 quality envelope, kernel SIMD/
+# portable agreement, and partition invariance of quantized scoring.
+cargo test --release -q -p rsd-nn --test quant_props
+cargo test --release -q -p rsd-models --test int8_partition_props
+cargo test --release -q -p rsd-models plm_infer
+
+echo "==> int8 serving soak (RSD_SERVE_MODEL=plm-int8, p99 SLO + zero drops)"
+# Short sustained soak through the quantized scoring backend: the bin
+# asserts the p99 SLO from the serve.request histogram, a clean drain,
+# and zero telemetry ring drops. Runs after the loadgen baseline diff
+# above because soak reports carry wall-clock-dependent post counts
+# that must not feed the committed-baseline comparison.
+RSD_SCALE=smoke RSD_OBS="$obs_tmp/soak.ndjson" RSD_OBS_TICK_MS=50 RSD_QPS=500 \
+    RSD_SERVE_MODEL=plm-int8 RSD_LOADGEN_SOAK_MS=2000 \
+    cargo run --release -q -p rsd-bench --bin loadgen >"$obs_tmp/soak.out"
+grep -q "soak p99" "$obs_tmp/soak.out" \
+    || { echo "soak run did not report its SLO check"; exit 1; }
+
+echo "==> kernel + inference bench vs committed BENCH_kernels.json"
+# bench_kernels hard-gates the quantization quality knobs internally
+# (RSD_QUANT_EPS / RSD_QUANT_MIN_AGREE / RSD_QUANT_MIN_SPEEDUP); the
+# obs_diff pass then compares against the committed artifact — quality
+# leaves (agreement, eps coverage) exactly, speedup/throughput leaves
+# under a wide noise tolerance for shared CI hosts.
+BENCH_KERNELS_OUT="$obs_tmp/BENCH_kernels.json" \
+    cargo run --release -q -p rsd-bench --bin bench_kernels >"$obs_tmp/bench_kernels.out"
+cargo run --release -q -p rsd-bench --bin obs_diff -- \
+    --time-tol "${OBS_DIFF_KERNELS_TIME_TOL:-0.50}" \
+    BENCH_kernels.json "$obs_tmp/BENCH_kernels.json"
+
 echo "==> mid-scale golden equivalence (release, ignored test)"
 cargo test --release -q --test streaming_equivalence -- --ignored
 

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use rsd_dataset::{BuildConfig, DatasetBuilder, DatasetSplits, SplitConfig};
 use rsd_gbdt::BoosterConfig;
-use rsd_models::{BenchData, ScoringModel, XgboostConfig};
+use rsd_models::{BenchData, ScoringModel, ServeModel, XgboostConfig};
 use rsd_serve::{IncomingPost, RiskService, ScoredPost, ServeConfig};
 
 #[test]
@@ -51,6 +51,7 @@ fn service_final_scores_match_batch_inference() {
             lru_capacity: 4096,
             batch_max: 32,
             channel_cap: dataset.posts.len() + 1,
+            model: ServeModel::Gbdt,
         },
     );
     let results = service.results();
