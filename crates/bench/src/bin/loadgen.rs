@@ -21,6 +21,15 @@
 //!   (default 250).
 //! * `RSD_SERVE_SHARDS` / `RSD_SERVE_LRU` / `RSD_SERVE_BATCH` /
 //!   `RSD_SERVE_CHANNEL_CAP` — service sizing ([`rsd_serve::ServeConfig`]).
+//! * `RSD_SLO_P99_MS` / `RSD_SLO_BUDGET` — arm the continuous burn-rate
+//!   monitor ([`rsd_obs::slo`]): the series driver evaluates the error
+//!   budget each tick, and the run **fails** if any tick burned
+//!   (`slo.burn`), independent of the end-of-run quantile check.
+//! * `RSD_OBS_HTTP` — serve `/metrics`, `/health`, `/snapshot` live on
+//!   `127.0.0.1:<port>` for the duration of the run.
+//! * `RSD_OBS_EXEMPLARS` — per-window slow-exemplar reservoir size
+//!   (default 4); the slowest requests' per-stage breakdowns land in
+//!   the series, the report, and the stderr table below.
 //!
 //! Every run asserts the telemetry event ring shed nothing
 //! (`ring_dropped == 0`): load shedding in the observability layer under
@@ -228,6 +237,30 @@ fn main() {
         report.evicted_users,
         report.peak_resident_users
     );
+    if !report.exemplars.is_empty() {
+        eprintln!("loadgen: slowest requests (per-stage breakdown, ms):");
+        eprintln!(
+            "  {:>8} {:<8} {:<10} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7}  slowest",
+            "trace", "backend", "level", "total", "queue", "batch", "window", "score", "drain"
+        );
+        for ex in &report.exemplars {
+            let stages = ex.stages;
+            let ms = |ns: u64| ns as f64 / 1e6;
+            eprintln!(
+                "  {:>8} {:<8} {:<10} {:>9.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}  {}",
+                ex.trace_id,
+                ex.backend,
+                ex.level,
+                ms(ex.total_ns),
+                ms(stages[0]),
+                ms(stages[1]),
+                ms(stages[2]),
+                ms(stages[3]),
+                ms(stages[4]),
+                ex.slowest_stage().0.name()
+            );
+        }
+    }
 
     let mut level_map = rsd_obs::Map::new();
     for (level, count) in RiskLevel::ALL.iter().zip(levels) {
@@ -247,12 +280,37 @@ fn main() {
             Value::Int(report.peak_resident_users as i128),
         )
         .set("scored_per_s", Value::Float(achieved));
+    if !report.exemplars.is_empty() {
+        h.run
+            .set("exemplars", rsd_obs::exemplar::to_values(&report.exemplars));
+    }
 
     // Let the series driver observe a quiescent window before the final
     // snapshot: windowed stage rates must read exactly 0.0 there, or the
     // committed-baseline series diff would compare mid-flight rates.
     if let Some(tick_ms) = rsd_obs::knob::optional_positive_env("RSD_OBS_TICK_MS") {
         thread::sleep(Duration::from_millis(2 * tick_ms + 50));
+    }
+    // Final series tick before the burn verdict: the monitor runs on the
+    // driver thread, so the latch is only settled once it stops.
+    h.finish_telemetry();
+    if let Some(slo) = rsd_obs::slo::config_from_env() {
+        let burns = rsd_obs::slo::burn_events();
+        let mut slo_map = rsd_obs::Map::new();
+        slo_map.insert("target_p99_ms", Value::Float(slo.target_p99_ms));
+        slo_map.insert("budget", Value::Float(slo.budget));
+        slo_map.insert("burn_events", Value::Int(burns as i128));
+        h.run.set("slo", Value::Object(slo_map));
+        assert_eq!(
+            burns, 0,
+            "SLO error budget burned: {burns} slo.burn event(s) against \
+             p99 target {:.1}ms, budget {} (RSD_SLO_P99_MS / RSD_SLO_BUDGET)",
+            slo.target_p99_ms, slo.budget
+        );
+        println!(
+            "loadgen: SLO clean — 0 slo.burn events against p99 {:.1}ms, budget {}",
+            slo.target_p99_ms, slo.budget
+        );
     }
     h.finish();
 }

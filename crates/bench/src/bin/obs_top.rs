@@ -9,11 +9,18 @@
 //! ```
 //!
 //! `--check` is the machine mode CI uses after a telemetry smoke run:
-//! it validates that every line parses as a known snapshot/stall record,
-//! that the ring reported **zero drops**, and (with `--trace`) that the
-//! Chrome trace parses as JSON with a non-empty `traceEvents` array.
-//! Exit codes: 0 ok, 2 usage/IO, 3 malformed series, 4 ring drops,
-//! 5 malformed trace.
+//! it validates that every line parses as a known snapshot/stall/burn
+//! record, that the ring reported **zero drops**, that the run's health
+//! verdict is not degraded (no latched SLO burn, no stalled stage), and
+//! (with `--trace`) that the Chrome trace parses as JSON with a
+//! non-empty `traceEvents` array. Exit codes: 0 ok, 2 usage/IO,
+//! 3 malformed series, 4 ring drops, 5 malformed trace, 6 degraded
+//! health / burned SLO budget.
+//!
+//! The viewer renders every histogram family in the snapshot — the
+//! per-backend × per-level tagged shards (`serve.request|gbdt|Ideation`)
+//! included — plus the run's slowest-request exemplars with their
+//! per-stage breakdowns and the SLO burn state when armed.
 
 use std::process::ExitCode;
 
@@ -78,6 +85,20 @@ fn render(summary: &Value) -> String {
         "ticks {}  stalls {}  ring published {} dropped {}\n",
         s["ticks"], s["stall_events"], s["ring"]["published"], s["ring"]["dropped"],
     ));
+    if let Some(status) = s["health"]["status"].as_str() {
+        out.push_str(&format!("health {status}"));
+        if let Some(slo) = s.get("slo").and_then(Value::as_object) {
+            out.push_str(&format!(
+                "  slo p99<{}ms budget {} burns {}",
+                slo.get("target_p99_ms")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+                slo.get("budget").and_then(Value::as_f64).unwrap_or(0.0),
+                slo.get("burn_events").and_then(Value::as_u64).unwrap_or(0),
+            ));
+        }
+        out.push('\n');
+    }
     if let Some(alloc) = s.get("alloc").and_then(Value::as_object) {
         let live = alloc
             .get("live_bytes")
@@ -124,6 +145,22 @@ fn render(summary: &Value) -> String {
             ));
         }
     }
+    if let Some(exemplars) = s.get("exemplars").and_then(Value::as_array) {
+        out.push_str(&format!(
+            "{:<8} {:<8} {:<10} {:>9} {:<12}\n",
+            "TRACE", "BACKEND", "LEVEL", "TOTAL MS", "SLOWEST"
+        ));
+        for ex in exemplars {
+            out.push_str(&format!(
+                "{:<8} {:<8} {:<10} {:>9.3} {:<12}\n",
+                ex["trace"],
+                ex["backend"].as_str().unwrap_or("?"),
+                ex["level"].as_str().unwrap_or("?"),
+                ex["total_ms"].as_f64().unwrap_or(0.0),
+                ex["slowest_stage"].as_str().unwrap_or("?"),
+            ));
+        }
+    }
     out
 }
 
@@ -146,6 +183,23 @@ fn check(args: &Args, text: &str) -> ExitCode {
             args.series
         );
         return ExitCode::from(4);
+    }
+    // Health gate: a latched SLO burn or a still-stalled stage in the
+    // final snapshot is a failed run even with clean quantiles. Series
+    // written before the health/slo keys existed simply lack them and
+    // pass, keeping old baselines checkable.
+    let health = summary["series"]["health"]["status"].as_str();
+    let burns = summary["series"]["slo"]["burn_events"]
+        .as_u64()
+        .unwrap_or(0);
+    if health == Some("degraded") || burns > 0 {
+        eprintln!(
+            "obs_top: degraded run in {}: health {}, {} slo.burn event(s)",
+            args.series,
+            health.unwrap_or("unknown"),
+            burns
+        );
+        return ExitCode::from(6);
     }
     if let Some(trace_path) = &args.trace {
         let trace_text = match std::fs::read_to_string(trace_path) {

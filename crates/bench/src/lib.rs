@@ -98,12 +98,14 @@ pub fn seed_from_env() -> u64 {
 
 /// Continuous-telemetry lifecycle for a bench binary: holds the
 /// time-series driver ([`rsd_obs::timeseries`]) when `RSD_OBS_TICK_MS`
-/// or `RSD_OBS_TRACE` requests it. Create it right after parsing
-/// scale/seed and call [`Telemetry::finish`] *before* writing the run
-/// report, so the final `obs.ring.*` gauges and latency quantiles land
-/// in the report's registry snapshot.
+/// or `RSD_OBS_TRACE` requests it, and the live introspection endpoint
+/// ([`rsd_obs::http`]) when `RSD_OBS_HTTP` names a port. Create it
+/// right after parsing scale/seed and call [`Telemetry::finish`]
+/// *before* writing the run report, so the final `obs.ring.*` gauges
+/// and latency quantiles land in the report's registry snapshot.
 pub struct Telemetry {
     guard: Option<rsd_obs::timeseries::SeriesGuard>,
+    http: Option<rsd_obs::http::HttpGuard>,
 }
 
 impl Telemetry {
@@ -112,22 +114,25 @@ impl Telemetry {
     pub fn start(bin: &str, scale: Scale) -> Telemetry {
         Telemetry {
             guard: rsd_obs::timeseries::start(bin, scale.name()),
+            http: rsd_obs::http::start_from_env(),
         }
     }
 
     /// Stop the driver (flushing the final snapshot and trace export)
-    /// and report where the artifacts went on stderr.
+    /// and report where the artifacts went on stderr. The live endpoint
+    /// stops last, after the final series tick has been published, so a
+    /// poller watching `/snapshot` sees the run's closing state.
     pub fn finish(&mut self) {
-        let Some(guard) = self.guard.take() else {
-            return;
-        };
-        let outputs = guard.finish();
-        if let Some(path) = &outputs.series {
-            eprintln!("series: {}", path.display());
+        if let Some(guard) = self.guard.take() {
+            let outputs = guard.finish();
+            if let Some(path) = &outputs.series {
+                eprintln!("series: {}", path.display());
+            }
+            if let Some(path) = &outputs.trace {
+                eprintln!("trace: {}", path.display());
+            }
         }
-        if let Some(path) = &outputs.trace {
-            eprintln!("trace: {}", path.display());
-        }
+        self.http.take();
     }
 }
 

@@ -155,6 +155,9 @@ const SKIP_SEGMENTS: &[&str] = &[
     "shards_in_flight",
     "reps",
     "git_rev",
+    // Which requests land in the slow-exemplar reservoir is inherently
+    // run-dependent; the quantiles they explain are gated separately.
+    "exemplars",
 ];
 
 /// Path substrings for per-run scheduling counters that legitimately
@@ -178,6 +181,10 @@ const QUALITY_MARKS: &[&str] = &[
     "agreement",
     "percent",
     "support",
+    // SLO verdicts: a clean baseline must stay clean — any burn count
+    // or degraded flag drifting from the baseline is a regression.
+    "burn",
+    "degraded",
 ];
 
 /// Exact segment names for discrete counts that must not drift.
@@ -186,7 +193,7 @@ const COUNT_SEGMENTS: &[&str] = &[
 ];
 
 /// Identity keys compared exactly (including strings).
-const IDENTITY_SEGMENTS: &[&str] = &["bin", "scale", "seed", "mode", "kernel", "dim"];
+const IDENTITY_SEGMENTS: &[&str] = &["bin", "scale", "seed", "mode", "kernel", "dim", "status"];
 
 /// Segment suffixes/substrings marking wall-clock leaves.
 fn is_time_segment(seg: &str) -> bool {
@@ -737,6 +744,45 @@ mod tests {
             &mut r,
         );
         assert!(r.regressed());
+    }
+
+    #[test]
+    fn slo_and_exemplar_paths_classify_for_the_gate() {
+        // Burn counts and degradation verdicts are replication-exact:
+        // a clean baseline must stay clean.
+        assert_eq!(classify("series.slo.burn_events"), Class::Quality);
+        assert_eq!(classify("series.slo.degraded"), Class::Quality);
+        assert_eq!(classify("series.health.status"), Class::Quality);
+        assert_eq!(classify("slo.burn_events"), Class::Quality);
+        // The SLO *target* is a wall-clock-shaped constant: ratio-gated,
+        // never confused with a measured p99 quantile.
+        assert_eq!(classify("series.slo.target_p99_ms"), Class::Time);
+        // Exemplar contents are run-dependent and skipped wholesale.
+        assert_eq!(classify("series.exemplars.0.total_ms"), Class::Skip);
+        assert_eq!(classify("exemplars.2.stages.score_ms"), Class::Skip);
+        // Tagged histogram families keep their tags inside one path
+        // segment, so suffix classification still lands.
+        assert_eq!(
+            classify("series.latency.serve.request|gbdt|Indicator.p99_ms"),
+            Class::Quantile
+        );
+        assert_eq!(
+            classify("series.latency.serve.request|gbdt|Indicator.count"),
+            Class::Quality
+        );
+
+        // A candidate whose burn count drifts from the clean baseline
+        // regresses even though both are "just counters".
+        let base = json!({"series": json!({"slo": json!({"burn_events": 0, "degraded": false})})});
+        let cand = json!({"series": json!({"slo": json!({"burn_events": 3, "degraded": true})})});
+        let d = diff_reports(&base, &cand, &Tolerances::default());
+        assert!(d.regressed());
+        assert_eq!(
+            d.findings.iter().filter(|f| f.regression).count(),
+            2,
+            "findings: {:?}",
+            d.findings
+        );
     }
 
     #[test]

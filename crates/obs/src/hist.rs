@@ -169,6 +169,19 @@ impl HdrHist {
         }
         Value::Object(m)
     }
+
+    /// Number of recorded values strictly above `threshold`, at bucket
+    /// granularity: a bucket counts as "over" when its midpoint exceeds
+    /// the threshold. The SLO burn-rate monitor consumes this, so its
+    /// breach counting inherits the documented `1/64` bucket error.
+    pub fn count_over(&self, threshold: u64) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(idx, _)| Self::bucket_mid(idx) > threshold)
+            .map(|(_, &c)| c)
+            .sum()
+    }
 }
 
 /// Thread-ordinal stripes for the global registry. 16 stripes keeps the
@@ -179,6 +192,36 @@ type Stripe = Mutex<BTreeMap<&'static str, HdrHist>>;
 
 fn stripes() -> &'static [Stripe; N_STRIPES] {
     static STRIPES: OnceLock<[Stripe; N_STRIPES]> = OnceLock::new();
+    STRIPES.get_or_init(|| std::array::from_fn(|_| Mutex::new(BTreeMap::new())))
+}
+
+/// Key of one tagged histogram family: a base label refined by the
+/// scoring-backend and risk-level tags a [`crate::reqctx::ReqCtx`]
+/// carries. All components are `&'static str` so recording stays
+/// allocation-free — the same constraint the event ring imposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TagKey {
+    /// Base family label (e.g. `serve.request`).
+    pub label: &'static str,
+    /// Scoring-backend tag (`ServeModel::name()`).
+    pub backend: &'static str,
+    /// Risk-level tag (`RiskLevel::name()`, or `unscored`).
+    pub level: &'static str,
+}
+
+impl TagKey {
+    /// Flattened `label|backend|level` name used in JSON snapshots. `|`
+    /// keeps the tags inside a single `.`-separated path segment, so
+    /// `obs_diff` still classifies the quantile/count leaves by suffix.
+    pub fn flat(&self) -> String {
+        format!("{}|{}|{}", self.label, self.backend, self.level)
+    }
+}
+
+type TagStripe = Mutex<BTreeMap<TagKey, HdrHist>>;
+
+fn tag_stripes() -> &'static [TagStripe; N_STRIPES] {
+    static STRIPES: OnceLock<[TagStripe; N_STRIPES]> = OnceLock::new();
     STRIPES.get_or_init(|| std::array::from_fn(|_| Mutex::new(BTreeMap::new())))
 }
 
@@ -200,6 +243,15 @@ pub fn observe_ns(label: &'static str, ns: u64) {
     GENERATION.fetch_add(1, std::sync::atomic::Ordering::Release);
 }
 
+/// Record a nanosecond observation into a tagged family (per-backend ×
+/// per-level shard of `key.label`). Same striping and cost profile as
+/// [`observe_ns`].
+pub fn observe_tagged(key: TagKey, ns: u64) {
+    let stripe = &tag_stripes()[(crate::thread_ord() as usize) % N_STRIPES];
+    stripe.lock().entry(key).or_default().record(ns);
+    GENERATION.fetch_add(1, std::sync::atomic::Ordering::Release);
+}
+
 /// Merge every stripe into one histogram per label.
 pub fn merged() -> BTreeMap<&'static str, HdrHist> {
     let mut out: BTreeMap<&'static str, HdrHist> = BTreeMap::new();
@@ -213,23 +265,68 @@ pub fn merged() -> BTreeMap<&'static str, HdrHist> {
     out
 }
 
-/// JSON summaries (per label) of the merged registry, or `Null` when no
-/// latencies were recorded.
+/// Fold one shard's tagged families into an accumulator. This is the
+/// commutative merge step the tagged-registry proptests pin: folding
+/// worker shards in any order yields bit-identical families.
+pub fn merge_tagged_into(out: &mut BTreeMap<TagKey, HdrHist>, shard: &BTreeMap<TagKey, HdrHist>) {
+    for (key, hist) in shard {
+        out.entry(*key)
+            .and_modify(|h| h.merge(hist))
+            .or_insert_with(|| hist.clone());
+    }
+}
+
+/// Merge every stripe into one histogram per tagged family.
+pub fn merged_tagged() -> BTreeMap<TagKey, HdrHist> {
+    let mut out = BTreeMap::new();
+    for stripe in tag_stripes().iter() {
+        merge_tagged_into(&mut out, &stripe.lock());
+    }
+    out
+}
+
+/// Cumulative `(total, over_threshold)` observation counts for an
+/// untagged label across all stripes — the SLO burn-rate monitor's
+/// input. Threshold comparison is at bucket granularity
+/// ([`HdrHist::count_over`]).
+pub fn count_over(label: &str, threshold_ns: u64) -> (u64, u64) {
+    let mut total = 0u64;
+    let mut over = 0u64;
+    for stripe in stripes().iter() {
+        if let Some(hist) = stripe.lock().get(label) {
+            total += hist.count();
+            over += hist.count_over(threshold_ns);
+        }
+    }
+    (total, over)
+}
+
+/// JSON summaries of the merged registry — untagged labels first, then
+/// tagged families under their flattened `label|backend|level` names —
+/// or `Null` when no latencies were recorded.
 pub fn snapshot_value() -> Value {
     let merged = merged();
-    if merged.is_empty() {
+    let tagged = merged_tagged();
+    if merged.is_empty() && tagged.is_empty() {
         return Value::Null;
     }
     let mut m = Map::new();
     for (label, hist) in &merged {
         m.insert(*label, hist.summary_ms());
     }
+    for (key, hist) in &tagged {
+        m.insert(key.flat(), hist.summary_ms());
+    }
     Value::Object(m)
 }
 
-/// Drop every recorded latency (test isolation).
+/// Drop every recorded latency, tagged families included (test
+/// isolation, and the serve bins' post-fit reset).
 pub fn reset() {
     for stripe in stripes().iter() {
+        stripe.lock().clear();
+    }
+    for stripe in tag_stripes().iter() {
         stripe.lock().clear();
     }
     GENERATION.fetch_add(1, std::sync::atomic::Ordering::Release);
@@ -371,7 +468,118 @@ mod tests {
     }
 
     #[test]
+    fn count_over_matches_bucket_semantics() {
+        let mut h = HdrHist::new();
+        for v in [1u64, 10, 100, 1_000, 10_000, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count_over(0), 6);
+        // Low values (<32) are exact buckets, so the threshold is sharp.
+        assert_eq!(h.count_over(1), 5);
+        assert_eq!(h.count_over(10), 4);
+        // Above the exact range the comparison is at bucket midpoints:
+        // far-away thresholds are unambiguous.
+        assert_eq!(h.count_over(5_000), 2);
+        assert_eq!(h.count_over(u64::MAX / 2), 0);
+        assert_eq!(HdrHist::new().count_over(0), 0);
+    }
+
+    /// The global-registry tests below all `reset()` the process-wide
+    /// stripes; serialize them so the test harness's parallelism cannot
+    /// interleave a reset with another test's assertions.
+    static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn tagged_registry_shards_by_key_and_resets() {
+        let _guard = REGISTRY_LOCK.lock();
+        reset();
+        let a = TagKey {
+            label: "t.req",
+            backend: "gbdt",
+            level: "Ideation",
+        };
+        let b = TagKey {
+            label: "t.req",
+            backend: "plm-int8",
+            level: "Ideation",
+        };
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..500u64 {
+                        observe_tagged(a, 1_000 + i);
+                        observe_tagged(b, 2_000 + i);
+                    }
+                });
+            }
+        });
+        let folded = merged_tagged();
+        assert_eq!(folded.get(&a).map(HdrHist::count), Some(2_000));
+        assert_eq!(folded.get(&b).map(HdrHist::count), Some(2_000));
+        assert_eq!(a.flat(), "t.req|gbdt|Ideation");
+        reset();
+        assert!(merged_tagged().is_empty());
+    }
+
+    mod tagged_properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        const LABELS: [&str; 2] = ["req", "stage.score"];
+        const BACKENDS: [&str; 3] = ["gbdt", "plm-f32", "plm-int8"];
+        const LEVELS: [&str; 4] = ["Indicator", "Ideation", "Behavior", "Attempt"];
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            /// Tagged-family merge is commutative across worker shards:
+            /// folding per-worker maps in any rotation yields the exact
+            /// counts/sums/quantiles of single-map recording, per key.
+            fn tagged_merge_commutes_across_worker_shards(
+                samples in collection::vec(
+                    (
+                        (0usize..2, 0usize..3),
+                        (0usize..4, 1u64..5_000_000, 0usize..6),
+                    ),
+                    1..300,
+                ),
+                rotation in 0usize..6,
+            ) {
+                let n_shards = 6;
+                let mut single: BTreeMap<TagKey, HdrHist> = BTreeMap::new();
+                let mut shards: Vec<BTreeMap<TagKey, HdrHist>> =
+                    vec![BTreeMap::new(); n_shards];
+                for &((l, b), (lv, value, worker)) in &samples {
+                    let key = TagKey {
+                        label: LABELS[l],
+                        backend: BACKENDS[b],
+                        level: LEVELS[lv],
+                    };
+                    single.entry(key).or_default().record(value);
+                    shards[worker % n_shards]
+                        .entry(key)
+                        .or_default()
+                        .record(value);
+                }
+                let mut folded = BTreeMap::new();
+                for i in 0..n_shards {
+                    merge_tagged_into(&mut folded, &shards[(i + rotation) % n_shards]);
+                }
+                prop_assert_eq!(folded.len(), single.len());
+                for (key, want) in &single {
+                    let got = &folded[key];
+                    prop_assert_eq!(got.count(), want.count());
+                    prop_assert_eq!(got.sum(), want.sum());
+                    for q in [0.0, 0.5, 0.99, 1.0] {
+                        prop_assert_eq!(got.quantile(q), want.quantile(q));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn registry_stripes_merge_across_threads() {
+        let _guard = REGISTRY_LOCK.lock();
         reset();
         std::thread::scope(|s| {
             for _ in 0..8 {

@@ -87,6 +87,56 @@ pub fn positive_float_env(var: &str, default: f64) -> f64 {
     positive_float(var, std::env::var(var).ok(), default)
 }
 
+/// Parse `raw` (from env var `var`) as a TCP port. Unset and the
+/// disable spellings (`""`, `"0"`, `"off"`) yield `None`; anything else
+/// must parse as a port in `1..=65535` or the process aborts naming the
+/// knob.
+pub fn port(var: &str, raw: Option<String>) -> Option<u16> {
+    let raw = raw?;
+    if is_disabled(&raw) {
+        return None;
+    }
+    match raw.trim().parse::<u16>() {
+        Ok(p) if p > 0 => Some(p),
+        _ => panic!(
+            "invalid {var} value {raw:?}; expected a TCP port in 1..=65535 \
+             (or \"0\"/\"off\" to disable)"
+        ),
+    }
+}
+
+/// [`port`] reading the environment directly.
+pub fn port_env(var: &str) -> Option<u16> {
+    port(var, std::env::var(var).ok())
+}
+
+/// Parse `raw` (from env var `var`) as an integer in `lo..=hi`. Unset
+/// or empty resolves to `default`; anything else must parse inside the
+/// bounds or the process aborts naming the knob *and* the valid range.
+pub fn bounded_usize(
+    var: &str,
+    raw: Option<String>,
+    lo: usize,
+    hi: usize,
+    default: usize,
+) -> usize {
+    debug_assert!((lo..=hi).contains(&default));
+    let Some(raw) = raw else { return default };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return default;
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if (lo..=hi).contains(&n) => n,
+        _ => panic!("invalid {var} value {raw:?}; expected an integer in {lo}..={hi}"),
+    }
+}
+
+/// [`bounded_usize`] reading the environment directly.
+pub fn bounded_usize_env(var: &str, lo: usize, hi: usize, default: usize) -> usize {
+    bounded_usize(var, std::env::var(var).ok(), lo, hi, default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +207,44 @@ mod tests {
             assert!(
                 msg.contains("RSD_QUANT_EPS"),
                 "names the knob for {bad:?}: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn port_parses_disables_and_hard_errors() {
+        assert_eq!(port("K", None), None);
+        for off in ["", "0", "off"] {
+            assert_eq!(port("K", Some(off.to_string())), None);
+        }
+        assert_eq!(port("K", Some("9100".into())), Some(9100));
+        assert_eq!(port("K", Some(" 65535 ".into())), Some(65535));
+        for bad in ["banana", "-1", "65536", "80.0"] {
+            let err = std::panic::catch_unwind(|| port("RSD_OBS_HTTP", Some(bad.to_string())))
+                .expect_err("must panic");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("RSD_OBS_HTTP") && msg.contains("65535"),
+                "names the knob and range for {bad:?}: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_usize_defaults_bounds_and_hard_errors() {
+        assert_eq!(bounded_usize("K", None, 1, 1024, 4), 4);
+        assert_eq!(bounded_usize("K", Some("".into()), 1, 1024, 4), 4);
+        assert_eq!(bounded_usize("K", Some(" 16 ".into()), 1, 1024, 4), 16);
+        assert_eq!(bounded_usize("K", Some("1024".into()), 1, 1024, 4), 1024);
+        for bad in ["0", "1025", "banana", "-2"] {
+            let err = std::panic::catch_unwind(|| {
+                bounded_usize("RSD_OBS_EXEMPLARS", Some(bad.to_string()), 1, 1024, 4)
+            })
+            .expect_err("must panic");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("RSD_OBS_EXEMPLARS") && msg.contains("1..=1024"),
+                "names the knob and range for {bad:?}: {msg}"
             );
         }
     }

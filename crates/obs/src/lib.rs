@@ -18,6 +18,14 @@
 //! - a report differ ([`diff`]) behind the `obs_diff` bench bin that
 //!   gates CI on time/memory/quality regressions between runs.
 //!
+//! On top of these, the serving tier gets request-scoped observability:
+//! [`reqctx::ReqCtx`] trace contexts with per-stage latency breakdowns
+//! recorded into tagged histogram families ([`hist::observe_tagged`]),
+//! an [`exemplar`] reservoir of the slowest requests, an [`slo`]
+//! burn-rate monitor over the request histograms, and a std-only live
+//! introspection endpoint ([`http`], `RSD_OBS_HTTP=<port>`) serving
+//! `/metrics`, `/health`, and `/snapshot`.
+//!
 //! Selection happens through two environment variables: `RSD_OBS`
 //! (`off`/unset default — every entry point is a single atomic load and
 //! branch, no allocation or lock; `stderr`; or a file path receiving the
@@ -28,12 +36,16 @@
 
 pub mod alloc;
 pub mod diff;
+pub mod exemplar;
 pub mod hist;
+pub mod http;
 pub mod knob;
 mod registry;
 mod report;
+pub mod reqctx;
 pub mod ring;
 mod sink;
+pub mod slo;
 mod span;
 pub mod timeseries;
 pub mod trace_export;
@@ -41,6 +53,7 @@ mod tree;
 
 pub use registry::{Histogram, Registry, SpanStat, StageStat, TreeStat};
 pub use report::{run_meta, RunReport};
+pub use reqctx::{ReqCtx, Stage};
 pub use span::{current_context, with_context, Span, SpanContext};
 pub use tree::{parse_folded, render_folded};
 
@@ -439,6 +452,7 @@ pub fn capture<F: FnOnce()>(f: F) -> Vec<Value> {
     let prev_sink = std::mem::replace(&mut *g.sink.lock(), Sink::Memory(Arc::clone(&buf)));
     g.registry.reset();
     hist::reset();
+    exemplar::reset();
 
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
 

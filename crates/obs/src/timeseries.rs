@@ -21,6 +21,21 @@
 //! `{"kind":"stall",...}` line (and an `obs.stall` NDJSON event) until
 //! they move again or call [`crate::stage_finish`].
 //!
+//! Three request-scoped extensions ride the tick as well:
+//!
+//! * **exemplars** — the window's K slowest request breakdowns
+//!   ([`crate::exemplar::take_window`]) land in the tick line, so the
+//!   series names the offending stage, not just the quantile;
+//! * **SLO burn** — when `RSD_SLO_P99_MS` arms [`crate::slo`], each
+//!   tick feeds the `serve.request` histogram's over-target counts into
+//!   the multi-window [`crate::slo::BurnMonitor`]; burning ticks emit a
+//!   `{"kind":"slo_burn",...}` line plus an `slo.burn` event and latch
+//!   the process degraded;
+//! * **live publication** — every tick line is pushed to
+//!   [`crate::http::publish_tick`] (with the current stall set), so the
+//!   `RSD_OBS_HTTP` endpoint's `/snapshot` and `/health` track the run
+//!   without touching driver state.
+//!
 //! When `RSD_OBS_TRACE=1` the driver also retains drained events and,
 //! at [`SeriesGuard::finish`], renders them plus the span tree into a
 //! `chrome://tracing` / Perfetto-compatible
@@ -220,6 +235,8 @@ struct Driver<'a> {
     /// re-merging every stripe.
     hist_gen: Option<u64>,
     hist_cache: Value,
+    /// SLO burn-rate monitor, armed by `RSD_SLO_P99_MS`.
+    slo: Option<crate::slo::BurnMonitor>,
 }
 
 fn ms(d: Duration) -> f64 {
@@ -317,6 +334,48 @@ impl Driver<'_> {
         if self.hist_cache != Value::Null {
             line.insert("latency", self.hist_cache.clone());
         }
+        // This window's slowest request breakdowns, slowest first.
+        let exemplars = crate::exemplar::take_window();
+        if !exemplars.is_empty() {
+            line.insert("exemplars", crate::exemplar::to_values(&exemplars));
+        }
+        // SLO burn evaluation over the request histogram's cumulative
+        // (total, over-target) counts at this tick.
+        let mut burning: Option<crate::slo::BurnSample> = None;
+        if let Some(monitor) = &mut self.slo {
+            let cfg = monitor.config();
+            let (total, bad) =
+                crate::hist::count_over(crate::reqctx::REQUEST_FAMILY, cfg.target_ns());
+            let t_ms_now = self.started.elapsed().as_millis() as u64;
+            let sample = monitor.observe(t_ms_now, total, bad);
+            if sample.burning {
+                crate::slo::record_burn();
+                burning = Some(sample);
+            }
+            let mut m = Map::new();
+            m.insert("target_p99_ms", Value::Float(cfg.target_p99_ms));
+            m.insert("budget", Value::Float(cfg.budget));
+            m.insert("fast_burn", Value::Float(sample.fast_burn));
+            m.insert("slow_burn", Value::Float(sample.slow_burn));
+            m.insert("burn_events", Value::Int(crate::slo::burn_events() as i128));
+            m.insert("degraded", Value::Bool(crate::slo::degraded()));
+            line.insert("slo", Value::Object(m));
+        }
+        // Health verdict: a latched SLO burn or any currently-stalled
+        // stage degrades the run (mirrored by the /health endpoint).
+        let stalled_now: Vec<String> = self
+            .stages
+            .iter()
+            .filter(|(_, s)| s.stalled)
+            .map(|(label, _)| label.to_string())
+            .collect();
+        let degraded = crate::slo::degraded() || !stalled_now.is_empty();
+        let mut health = Map::new();
+        health.insert(
+            "status",
+            Value::String(if degraded { "degraded" } else { "ok" }.to_string()),
+        );
+        line.insert("health", Value::Object(health));
         if crate::alloc::active() {
             let mut a = Map::new();
             a.insert(
@@ -333,7 +392,33 @@ impl Driver<'_> {
         r.insert("published", Value::Int(i128::from(ring.published())));
         r.insert("dropped", Value::Int(i128::from(ring.dropped())));
         line.insert("ring", Value::Object(r));
-        self.write_line(&Value::Object(line));
+        let line = Value::Object(line);
+        self.write_line(&line);
+        // Mirror the tick to the live endpoint (cheap: one string and
+        // two mutex stores; the endpoint serves them without touching
+        // driver state).
+        crate::http::publish_tick(line.to_json());
+        crate::http::set_stalled(stalled_now);
+
+        if let Some(sample) = burning {
+            let cfg = self.slo.as_ref().expect("burning implies monitor").config();
+            let mut m = Map::new();
+            m.insert("kind", Value::String("slo_burn".to_string()));
+            m.insert("t_ms", Value::Float(ms(self.started.elapsed())));
+            m.insert("target_p99_ms", Value::Float(cfg.target_p99_ms));
+            m.insert("budget", Value::Float(cfg.budget));
+            m.insert("fast_burn", Value::Float(sample.fast_burn));
+            m.insert("slow_burn", Value::Float(sample.slow_burn));
+            self.write_line(&Value::Object(m));
+            crate::event(
+                "slo.burn",
+                &[
+                    ("fast_burn", Value::Float(sample.fast_burn)),
+                    ("slow_burn", Value::Float(sample.slow_burn)),
+                    ("target_p99_ms", Value::Float(cfg.target_p99_ms)),
+                ],
+            );
+        }
 
         for label in stalls {
             let idle = self.stages[label].idle_ticks;
@@ -380,6 +465,7 @@ fn drive(opts: &SeriesOptions, stop: &StopFlag) {
         last_tick: now,
         hist_gen: None,
         hist_cache: Value::Null,
+        slo: crate::slo::config_from_env().map(crate::slo::BurnMonitor::new),
     };
     loop {
         let stopped = stop.wait(opts.tick);
@@ -403,14 +489,22 @@ fn drive(opts: &SeriesOptions, stop: &StopFlag) {
     }
 }
 
+/// Run-wide exemplar list kept by [`summarize_series`].
+const SUMMARY_EXEMPLARS: usize = 8;
+
 /// Summarize a `.series.ndjson` stream into a report-shaped JSON object
 /// (`obs_diff` accepts series files via this): the last `tick`/`final`
-/// snapshot's stages, latency quantiles, and ring counters, plus tick
-/// and stall totals. Malformed lines are a hard error.
+/// snapshot's stages, latency quantiles, ring counters, and health,
+/// plus tick/stall/burn totals, the stable subset of the SLO state
+/// (targets and the burn count — instantaneous burn rates are
+/// timing-dependent and stay in the raw lines), and the run's slowest
+/// exemplars across all ticks. Malformed lines are a hard error.
 pub fn summarize_series(text: &str) -> Result<Value, String> {
     let mut last: Option<Value> = None;
     let mut ticks = 0u64;
     let mut stalls = 0u64;
+    let mut burns = 0u64;
+    let mut exemplars: Vec<Value> = Vec::new();
     for (idx, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -420,9 +514,13 @@ pub fn summarize_series(text: &str) -> Result<Value, String> {
         match v.get("kind").and_then(Value::as_str) {
             Some("tick") | Some("final") => {
                 ticks += 1;
+                if let Some(exs) = v.get("exemplars").and_then(Value::as_array) {
+                    exemplars.extend(exs.iter().cloned());
+                }
                 last = Some(v);
             }
             Some("stall") => stalls += 1,
+            Some("slo_burn") => burns += 1,
             Some(other) => return Err(format!("series line {}: unknown kind {other:?}", idx + 1)),
             None => return Err(format!("series line {}: missing kind", idx + 1)),
         }
@@ -431,10 +529,33 @@ pub fn summarize_series(text: &str) -> Result<Value, String> {
     let mut series = Map::new();
     series.insert("ticks", Value::Int(i128::from(ticks)));
     series.insert("stall_events", Value::Int(i128::from(stalls)));
-    for key in ["stages", "latency", "ring", "alloc"] {
+    if burns > 0 {
+        series.insert("burn_lines", Value::Int(i128::from(burns)));
+    }
+    for key in ["stages", "latency", "ring", "alloc", "health"] {
         if let Some(v) = last.get(key) {
             series.insert(key, v.clone());
         }
+    }
+    if let Some(slo) = last.get("slo").and_then(Value::as_object) {
+        let mut stable = Map::new();
+        for key in ["target_p99_ms", "budget", "burn_events", "degraded"] {
+            if let Some(v) = slo.get(key) {
+                stable.insert(key, v.clone());
+            }
+        }
+        series.insert("slo", Value::Object(stable));
+    }
+    if !exemplars.is_empty() {
+        // Keep the run's slowest across every window, slowest first.
+        exemplars.sort_by(|a, b| {
+            let ms = |v: &Value| v.get("total_ms").and_then(Value::as_f64).unwrap_or(0.0);
+            ms(b)
+                .partial_cmp(&ms(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        exemplars.truncate(SUMMARY_EXEMPLARS);
+        series.insert("exemplars", Value::Array(exemplars));
     }
     let mut out = Map::new();
     out.insert("series", Value::Object(series));
@@ -529,5 +650,36 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ok["series"]["ticks"], 1u32);
+    }
+
+    #[test]
+    fn summarize_carries_slo_health_and_run_exemplars() {
+        let text = concat!(
+            r#"{"kind":"tick","tick":0,"exemplars":[{"trace":1,"total_ms":5.0},{"trace":2,"total_ms":9.0}],"#,
+            r#""slo":{"target_p99_ms":250.0,"budget":0.05,"fast_burn":0.2,"slow_burn":0.1,"burn_events":0,"degraded":false},"#,
+            r#""health":{"status":"ok"},"ring":{"published":4,"dropped":0}}"#,
+            "\n",
+            r#"{"kind":"slo_burn","t_ms":120.0,"target_p99_ms":250.0,"budget":0.05,"fast_burn":2.0,"slow_burn":1.5}"#,
+            "\n",
+            r#"{"kind":"final","tick":1,"exemplars":[{"trace":3,"total_ms":7.0}],"#,
+            r#""slo":{"target_p99_ms":250.0,"budget":0.05,"fast_burn":2.0,"slow_burn":1.5,"burn_events":1,"degraded":true},"#,
+            r#""health":{"status":"degraded"},"ring":{"published":9,"dropped":0}}"#,
+            "\n",
+        );
+        let s = summarize_series(text).expect("well-formed series");
+        let s = &s["series"];
+        assert_eq!(s["ticks"], 2u32);
+        assert_eq!(s["burn_lines"], 1u32);
+        assert_eq!(s["health"]["status"].as_str(), Some("degraded"));
+        assert_eq!(s["slo"]["burn_events"], 1u32);
+        assert_eq!(s["slo"]["degraded"], true);
+        // Instantaneous burn rates are timing noise: not summarized.
+        assert!(s["slo"]["fast_burn"].is_null());
+        // Exemplars accumulate across ticks, slowest first.
+        let exs = s["exemplars"].as_array().expect("exemplars");
+        assert_eq!(exs.len(), 3);
+        assert_eq!(exs[0]["trace"], 2u32);
+        assert_eq!(exs[1]["trace"], 3u32);
+        assert_eq!(exs[2]["trace"], 1u32);
     }
 }

@@ -123,6 +123,31 @@ pub trait ServiceStage {
     }
 }
 
+/// An item travelling through the serving channels together with its
+/// request-scoped trace context. The wrapper is what makes per-stage
+/// latency attribution possible: the [`rsd_obs::ReqCtx`] is minted at
+/// ingress and rides the bounded channels with the payload, so each
+/// hop can call [`rsd_obs::ReqCtx::advance`] and charge the elapsed
+/// wall-clock to the stage that actually spent it.
+#[derive(Debug)]
+pub struct Traced<T> {
+    /// Per-request trace context (timing breakdown, backend/level tags).
+    pub ctx: rsd_obs::ReqCtx,
+    /// The payload being served.
+    pub item: T,
+}
+
+impl<T> Traced<T> {
+    /// Mint a fresh trace context (tagged with the scoring backend) for
+    /// `item` at service ingress.
+    pub fn mint(backend: &'static str, item: T) -> Traced<T> {
+        Traced {
+            ctx: rsd_obs::ReqCtx::mint(backend),
+            item,
+        }
+    }
+}
+
 /// Error returned by [`Sender::send`] when the channel is closed (the
 /// item is handed back so callers can decide what to do with it).
 #[derive(Debug)]

@@ -24,6 +24,12 @@ pub struct ServeConfig {
     /// The fitting side (loadgen, deployment harness) routes on this to
     /// build the matching [`ScoringModel`](rsd_models::ScoringModel).
     pub model: ServeModel,
+    /// Fault injection for the SLO self-test
+    /// (`RSD_SERVE_INJECT_STALL_MS`): when set, the scoring worker
+    /// sleeps this long once, right after its first micro-batch, so CI
+    /// can assert the burn-rate monitor trips on a real stall. Unset
+    /// (or `0`/`off`) in every production configuration.
+    pub inject_stall_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -34,6 +40,7 @@ impl Default for ServeConfig {
             batch_max: 64,
             channel_cap: 1024,
             model: ServeModel::Gbdt,
+            inject_stall_ms: None,
         }
     }
 }
@@ -49,7 +56,30 @@ impl ServeConfig {
             batch_max: positive_env("RSD_SERVE_BATCH", d.batch_max)?,
             channel_cap: positive_env("RSD_SERVE_CHANNEL_CAP", d.channel_cap)?,
             model: model_env(d.model)?,
+            inject_stall_ms: optional_ms_env("RSD_SERVE_INJECT_STALL_MS")?,
         })
+    }
+}
+
+/// Parse `var` as an optional millisecond count: unset, empty, `0`, and
+/// `off` all mean disabled; anything else must be a positive integer or
+/// the config errors naming the knob.
+fn optional_ms_env(var: &'static str) -> Result<Option<u64>> {
+    match std::env::var(var) {
+        Err(_) => Ok(None),
+        Ok(raw) => {
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed == "0" || trimmed == "off" {
+                return Ok(None);
+            }
+            match trimmed.parse::<u64>() {
+                Ok(ms) => Ok(Some(ms)),
+                Err(_) => Err(RsdError::config(
+                    var,
+                    format!("expected milliseconds as a positive integer, got {raw:?}"),
+                )),
+            }
+        }
     }
 }
 
@@ -118,6 +148,24 @@ mod tests {
         for var in ["RSD_SERVE_SHARDS", "RSD_SERVE_LRU", "RSD_SERVE_BATCH"] {
             std::env::remove_var(var);
         }
+
+        // Stall-injection knob: optional, disable spellings, named
+        // errors on garbage.
+        std::env::remove_var("RSD_SERVE_INJECT_STALL_MS");
+        assert_eq!(ServeConfig::from_env().unwrap().inject_stall_ms, None);
+        for off in ["", "0", "off"] {
+            std::env::set_var("RSD_SERVE_INJECT_STALL_MS", off);
+            assert_eq!(ServeConfig::from_env().unwrap().inject_stall_ms, None);
+        }
+        std::env::set_var("RSD_SERVE_INJECT_STALL_MS", " 1500 ");
+        assert_eq!(ServeConfig::from_env().unwrap().inject_stall_ms, Some(1500));
+        std::env::set_var("RSD_SERVE_INJECT_STALL_MS", "soon");
+        let err = ServeConfig::from_env().unwrap_err().to_string();
+        assert!(
+            err.contains("RSD_SERVE_INJECT_STALL_MS"),
+            "error must name the knob: {err}"
+        );
+        std::env::remove_var("RSD_SERVE_INJECT_STALL_MS");
 
         // Model routing knob: defaults, valid spellings, named errors.
         std::env::remove_var(ServeModel::KNOB);

@@ -27,7 +27,8 @@ use rsd_common::Timestamp;
 use rsd_corpus::RiskLevel;
 use rsd_dataset::{StoreItem, UserWindowStore};
 use rsd_models::{ScoreScratch, ScoringModel};
-use rsd_pipeline::service::{bounded, Receiver, SendError, Sender, Shutdown};
+use rsd_obs::Stage;
+use rsd_pipeline::service::{bounded, Receiver, SendError, Sender, Shutdown, Traced};
 
 use crate::config::ServeConfig;
 
@@ -60,6 +61,8 @@ pub struct ScoredPost {
     pub total_seen: u64,
     /// Submit-to-score latency in nanoseconds.
     pub latency_ns: u64,
+    /// Request trace id (correlates with exemplar breakdowns).
+    pub trace_id: u64,
 }
 
 /// Final accounting returned by [`RiskService::drain`].
@@ -79,12 +82,15 @@ pub struct ServeReport {
     pub resident_users: usize,
     /// Submits that found the ingress queue full and blocked.
     pub blocked_submits: u64,
+    /// The run's slowest requests with their full per-stage breakdowns
+    /// (empty when telemetry is disarmed).
+    pub exemplars: Vec<rsd_obs::exemplar::Exemplar>,
 }
 
-struct Envelope {
-    post: IncomingPost,
-    t0: Instant,
-}
+/// What rides the ingress channel: the post plus its trace context, so
+/// the worker can attribute queue wait, batch wait, window update, and
+/// scoring to the request that actually paid for them.
+type Envelope = Traced<IncomingPost>;
 
 /// Per-shard scoring scratch: feature row + timestamp buffer, reused
 /// across every request the shard scores in a batch.
@@ -101,6 +107,7 @@ pub struct RiskService {
     results: Receiver<ScoredPost>,
     shutdown: Shutdown,
     worker: Option<thread::JoinHandle<ServeReport>>,
+    backend: &'static str,
 }
 
 impl RiskService {
@@ -111,6 +118,7 @@ impl RiskService {
         let shutdown = Shutdown::new();
         let closer = ingress_tx.clone();
         shutdown.on_trigger(move || closer.close());
+        let backend = cfg.model.name();
         let worker = thread::Builder::new()
             .name("rsd-serve-worker".to_string())
             .spawn(move || worker_loop(model, cfg, ingress_rx, results_tx))
@@ -120,18 +128,18 @@ impl RiskService {
             results: results_rx,
             shutdown,
             worker: Some(worker),
+            backend,
         }
     }
 
     /// Submit one post. Blocks while the ingress queue is full
-    /// (backpressure); fails once the service is draining.
+    /// (backpressure); fails once the service is draining. Minting the
+    /// trace context here makes the ingress instant the submit instant,
+    /// so queue wait includes any time spent blocked on backpressure.
     pub fn submit(&self, post: IncomingPost) -> std::result::Result<(), SendError<IncomingPost>> {
         self.ingress
-            .send(Envelope {
-                post,
-                t0: Instant::now(),
-            })
-            .map_err(|SendError(env)| SendError(env.post))
+            .send(Envelope::mint(self.backend, post))
+            .map_err(|SendError(env)| SendError(env.item))
     }
 
     /// A handle to the result stream (clone freely; results are emitted
@@ -182,15 +190,21 @@ fn worker_loop(
     let mut store: UserWindowStore<String> =
         UserWindowStore::new(cfg.shards, model.window(), cfg.lru_capacity);
     let mut report = ServeReport::default();
+    let mut stall_pending = cfg.inject_stall_ms;
 
     // Blocking recv for the batch head, then opportunistically fill the
-    // micro-batch from whatever else is already queued.
-    while let Some(first) = ingress.recv() {
+    // micro-batch from whatever else is already queued. Each pop closes
+    // the envelope's queue-wait attribution.
+    while let Some(mut first) = ingress.recv() {
+        first.ctx.advance(Stage::Queue);
         let mut batch = Vec::with_capacity(cfg.batch_max);
         batch.push(first);
         while batch.len() < cfg.batch_max {
             match ingress.try_recv() {
-                Some(env) => batch.push(env),
+                Some(mut env) => {
+                    env.ctx.advance(Stage::Queue);
+                    batch.push(env);
+                }
                 None => break,
             }
         }
@@ -199,49 +213,65 @@ fn worker_loop(
         let mut bytes = 0u64;
         let mut metas = Vec::with_capacity(n);
         let mut items = Vec::with_capacity(n);
-        for env in batch {
-            bytes += env.post.text.len() as u64;
-            metas.push((env.post.user, env.post.post, env.t0));
+        for mut env in batch {
+            // Dispatch instant: everything since the pop was batch wait.
+            env.ctx.advance(Stage::BatchWait);
+            let post = env.item;
+            bytes += post.text.len() as u64;
+            metas.push((post.user, post.post, env.ctx));
             items.push(StoreItem {
-                user: env.post.user,
-                created: env.post.created,
-                id: env.post.post,
-                payload: env.post.text,
+                user: post.user,
+                created: post.created,
+                id: post.post,
+                payload: post.text,
             });
         }
 
         // Sharded state update + scoring on the rsd-par pool. The
         // callback sees the user's window *after* this post's insert;
-        // per-shard scratch keeps feature rows allocation-free.
-        let outs = store.apply_batch_map::<(usize, usize, u64), WorkerScratch, _>(
+        // per-shard scratch keeps feature rows allocation-free. Window
+        // and score time are measured where they happen and carried out
+        // to the emit loop, which owns the trace contexts.
+        let outs = store.apply_batch_map_with::<(usize, usize, u64, u64, u64), WorkerScratch, _>(
             items,
-            |_user, buf, scratch| {
+            |_user, buf, apply_ns, scratch| {
                 let texts: Vec<&str> = buf.entries().iter().map(|e| e.payload.as_str()).collect();
                 scratch.stamps.clear();
                 scratch
                     .stamps
                     .extend(buf.entries().iter().map(|e| e.created));
+                let t_score = Instant::now();
                 let level = model.score_stream(
                     &texts,
                     &scratch.stamps,
                     buf.total_seen() as usize,
                     &mut scratch.score,
                 );
-                (level, buf.len(), buf.total_seen())
+                let score_ns = t_score.elapsed().as_nanos() as u64;
+                (level, buf.len(), buf.total_seen(), apply_ns, score_ns)
             },
         );
 
-        for ((user, post, t0), (level, window_len, total_seen)) in metas.into_iter().zip(outs) {
-            let latency_ns = t0.elapsed().as_nanos() as u64;
+        for ((user, post, mut ctx), (level, window_len, total_seen, apply_ns, score_ns)) in
+            metas.into_iter().zip(outs)
+        {
+            let level = RiskLevel::from_index(level).expect("booster predicts 0..4");
+            ctx.record(Stage::Window, apply_ns);
+            ctx.record(Stage::Score, score_ns);
+            ctx.set_level(level.name());
+            let latency_ns = ctx.ingress().elapsed().as_nanos() as u64;
+            ctx.close_residual(latency_ns);
             rsd_obs::latency_ns("serve.request", latency_ns);
             let scored = ScoredPost {
                 user,
                 post,
-                level: RiskLevel::from_index(level).expect("booster predicts 0..4"),
+                level,
                 window_len,
                 total_seen,
                 latency_ns,
+                trace_id: ctx.trace_id(),
             };
+            ctx.finish();
             // A failed send means every result receiver is gone; keep
             // scoring (state must stay consistent) but stop emitting.
             let _ = results.send(scored);
@@ -254,12 +284,21 @@ fn worker_loop(
         rsd_obs::stage_progress("serve.scored", n as u64, bytes);
         rsd_obs::gauge("serve.resident_users", store.resident_users() as f64);
         rsd_obs::gauge("serve.ingress.depth", ingress.depth() as f64);
+
+        // SLO self-test fault injection: freeze the worker once, right
+        // after the first micro-batch, so queued requests accrue real
+        // queue wait and the burn-rate monitor must trip.
+        if let Some(ms) = stall_pending.take() {
+            eprintln!("rsd-serve: injected stall for {ms} ms (RSD_SERVE_INJECT_STALL_MS)");
+            thread::sleep(std::time::Duration::from_millis(ms));
+        }
     }
 
     rsd_obs::stage_finish("serve.scored");
     report.evicted_users = store.evicted_users();
     report.peak_resident_users = store.peak_resident_users();
     report.resident_users = store.resident_users();
+    report.exemplars = rsd_obs::exemplar::run_snapshot();
     results.close();
     report
 }

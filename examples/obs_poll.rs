@@ -1,0 +1,35 @@
+//! Poll the live introspection endpoint a serving run exposes when
+//! `RSD_OBS_HTTP=<port>` is set — a dependency-free client, ten lines of
+//! `std::net::TcpStream`, no curl required.
+//!
+//! ```text
+//! RSD_OBS_HTTP=9100 RSD_OBS_TICK_MS=100 cargo run --release --bin loadgen &
+//! cargo run --release --example obs_poll 9100 /health
+//! cargo run --release --example obs_poll 9100 /metrics
+//! cargo run --release --example obs_poll 9100 /snapshot
+//! ```
+//!
+//! Prints the raw HTTP response (status line, headers, body) so CI can
+//! grep for `200 OK`, `"status":"ok"`, or a metric name directly.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let port: u16 = args
+        .next()
+        .and_then(|p| p.parse().ok())
+        .expect("usage: obs_poll <port> [/metrics|/health|/snapshot]");
+    let path = args.next().unwrap_or_else(|| "/health".to_string());
+
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect to endpoint");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    print!("{response}");
+}

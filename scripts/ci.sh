@@ -121,6 +121,7 @@ echo "==> serving smoke (loadgen at fixed QPS, clean drain + zero drops)"
 # regression that clears the floor still gates at the normal ratios.
 rm -f bench_runs/small/loadgen.series.ndjson
 RSD_SCALE=smoke RSD_OBS="$obs_tmp/loadgen.ndjson" RSD_OBS_TICK_MS=50 RSD_QPS=500 \
+    RSD_SLO_P99_MS=250 RSD_SLO_BUDGET=0.2 \
     cargo run --release -q -p rsd-bench --bin loadgen >"$obs_tmp/loadgen.out"
 cargo run --release -q -p rsd-bench --bin obs_top -- --check \
     bench_runs/small/loadgen.series.ndjson
@@ -135,6 +136,58 @@ cargo run --release -q -p rsd-bench --bin obs_diff -- \
     bench_runs/baseline/loadgen.series.ndjson bench_runs/small/loadgen.series.ndjson
 cargo run --release -q -p rsd-bench --bin obs_diff -- --self-test \
     bench_runs/small/loadgen.series.ndjson
+
+echo "==> introspection endpoint smoke (RSD_OBS_HTTP, /health + /metrics + /snapshot)"
+# A soaking loadgen exposes the live endpoint; the dependency-free
+# obs_poll example fetches each route. /health must be 200 with status
+# ok (503/degraded here means a latched burn or stalled stage),
+# /metrics must carry rsd_-prefixed exposition lines, /snapshot the
+# latest series tick. Direct binary paths — cargo would contend on the
+# build lock with the backgrounded run.
+cargo build --release -q --examples
+endpoint_port=17893
+RSD_SCALE=smoke RSD_OBS="$obs_tmp/endpoint.ndjson" RSD_OBS_TICK_MS=50 \
+    RSD_QPS=500 RSD_LOADGEN_SOAK_MS=4000 RSD_OBS_HTTP="$endpoint_port" \
+    ./target/release/loadgen >"$obs_tmp/endpoint.out" 2>"$obs_tmp/endpoint.err" &
+endpoint_pid=$!
+health=""
+for _ in $(seq 1 50); do
+    health="$(./target/release/examples/obs_poll "$endpoint_port" /health 2>/dev/null || true)"
+    [ -n "$health" ] && break
+    sleep 0.2
+done
+echo "$health" | grep -q "200 OK" || { echo "/health not 200: $health"; kill "$endpoint_pid" 2>/dev/null; exit 1; }
+echo "$health" | grep -q '"status":"ok"' || { echo "/health degraded: $health"; kill "$endpoint_pid" 2>/dev/null; exit 1; }
+./target/release/examples/obs_poll "$endpoint_port" /metrics | grep -q "^rsd_" \
+    || { echo "/metrics has no rsd_ exposition lines"; kill "$endpoint_pid" 2>/dev/null; exit 1; }
+./target/release/examples/obs_poll "$endpoint_port" /snapshot | grep -q '"kind"' \
+    || { echo "/snapshot has no series tick"; kill "$endpoint_pid" 2>/dev/null; exit 1; }
+wait "$endpoint_pid" || { echo "endpoint loadgen run failed"; cat "$obs_tmp/endpoint.err"; exit 1; }
+grep -q "soak p99" "$obs_tmp/endpoint.out" \
+    || { echo "endpoint soak did not report its SLO check"; exit 1; }
+
+echo "==> SLO burn self-test (injected stall must trip the burn monitor)"
+# Fault injection: the serve worker sleeps 1500ms after its first
+# micro-batch while requests queue against a 50ms p99 target, so the
+# burn-rate monitor must latch slo.burn events and loadgen must exit
+# non-zero naming them. A passing run here would mean the SLO gate
+# can't detect a real stall.
+slo_status=0
+RSD_SCALE=smoke RSD_OBS="$obs_tmp/slo_selftest.ndjson" RSD_OBS_TICK_MS=50 \
+    RSD_QPS=500 RSD_SLO_P99_MS=50 RSD_SLO_BUDGET=0.05 \
+    RSD_SERVE_INJECT_STALL_MS=1500 \
+    ./target/release/loadgen >"$obs_tmp/slo_selftest.out" 2>&1 || slo_status=$?
+[ "$slo_status" -ne 0 ] \
+    || { echo "SLO self-test: injected stall did not fail loadgen"; exit 1; }
+grep -q "slo.burn" "$obs_tmp/slo_selftest.out" \
+    || { echo "SLO self-test: failure did not name slo.burn"; cat "$obs_tmp/slo_selftest.out"; exit 1; }
+# The injected-stall series must also trip the obs_top health gate
+# (exit 6), proving degraded runs can't sneak past --check.
+slo_check=0
+./target/release/obs_top --check bench_runs/small/loadgen.series.ndjson \
+    >/dev/null 2>&1 || slo_check=$?
+[ "$slo_check" -eq 6 ] \
+    || { echo "obs_top --check should exit 6 on degraded series, got $slo_check"; exit 1; }
 
 echo "==> int8 inference parity (f32-vs-int8 + partition/quant properties)"
 # Targeted re-runs of the quantization contract: the tape-free f32

@@ -52,6 +52,7 @@ fn service_final_scores_match_batch_inference() {
             batch_max: 32,
             channel_cap: dataset.posts.len() + 1,
             model: ServeModel::Gbdt,
+            inject_stall_ms: None,
         },
     );
     let results = service.results();
